@@ -1,0 +1,29 @@
+"""Shared benchmark configuration.
+
+Every benchmark runs its experiment exactly once (the simulator is
+deterministic, so repetition only wastes time), prints the
+paper-vs-measured table, and asserts the paper's *qualitative* shape —
+who wins, roughly by how much, where the crossovers fall — rather than
+absolute numbers (our substrate is a simulator, not the authors' Rice
+testbed).
+
+Scale: problem sizes follow the calibrated ``bench`` preset
+(DESIGN.md section 3); set REPRO_BENCH_SCALE=large for bigger runs.
+"""
+
+import os
+
+import pytest
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "bench")
+PROCS = [1, 2, 4, 8, 16]
+
+
+def run_once(benchmark, fn):
+    """Benchmark ``fn`` with a single round (deterministic sim)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def bench_scale():
+    return SCALE

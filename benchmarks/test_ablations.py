@@ -1,0 +1,71 @@
+"""Ablation benches: quantify the design choices DESIGN.md section 5
+calls out, at benchmark scale."""
+
+from benchmarks.conftest import SCALE, run_once
+from repro.analysis.ablations import (ablate_diff_encoding,
+                                      ablate_hybrid_heuristic,
+                                      ablate_lazy_overhead_factor,
+                                      ablate_lock_broadcast)
+
+
+def test_abl_diff_encoding(benchmark):
+    """Run-length diffs vs whole-page transfers: the diff encoding is
+    what keeps update-style protocols' data volume manageable."""
+    results = run_once(benchmark,
+                       lambda: ablate_diff_encoding(
+                           app="water", nprocs=16, scale=SCALE))
+    diffs, pages = results["diffs"], results["whole_pages"]
+    print(f"\ndiff encoding: {diffs.data_kbytes:.0f} KB, "
+          f"{diffs.elapsed_cycles / 1e6:.1f} Mcycles | whole pages: "
+          f"{pages.data_kbytes:.0f} KB, "
+          f"{pages.elapsed_cycles / 1e6:.1f} Mcycles")
+    assert pages.data_kbytes > 2 * diffs.data_kbytes
+    assert pages.elapsed_cycles > diffs.elapsed_cycles
+
+
+def test_abl_hybrid_heuristic(benchmark):
+    """LH's copyset rule vs always/never piggybacking."""
+    results = run_once(benchmark,
+                       lambda: ablate_hybrid_heuristic(
+                           app="water", nprocs=16, scale=SCALE))
+    print()
+    for policy, result in results.items():
+        print(f"piggyback={policy:8s}: "
+              f"{result.elapsed_cycles / 1e6:6.1f} Mcycles, "
+              f"{result.access_misses:5d} misses, "
+              f"{result.data_kbytes:7.0f} KB")
+    # Never piggybacking degenerates toward LI: many more misses.
+    assert results["never"].access_misses > \
+        2 * results["copyset"].access_misses
+    # The copyset heuristic performs at least as well as either
+    # extreme on wall-clock.
+    best = min(r.elapsed_cycles for r in results.values())
+    assert results["copyset"].elapsed_cycles <= 1.1 * best
+
+
+def test_abl_lock_broadcast(benchmark):
+    """Broadcast lock requests: fewer hops on the grant path, n-1
+    request messages — the paper's 'without resorting to broadcast'
+    remark, quantified."""
+    results = run_once(benchmark,
+                       lambda: ablate_lock_broadcast(
+                           app="cholesky", nprocs=8, scale=SCALE))
+    fwd, bcast = results["forwarding"], results["broadcast"]
+    print(f"\nforwarding: {fwd.sync_messages} sync msgs, "
+          f"{fwd.elapsed_cycles / 1e6:.1f} Mcycles | broadcast: "
+          f"{bcast.sync_messages} sync msgs, "
+          f"{bcast.elapsed_cycles / 1e6:.1f} Mcycles")
+    assert bcast.sync_messages > fwd.sync_messages
+
+
+def test_abl_lazy_overhead_factor(benchmark):
+    """How much of the lazy protocols' cost is the simulation's
+    doubled per-byte software overhead."""
+    results = run_once(benchmark,
+                       lambda: ablate_lazy_overhead_factor(
+                           app="water", nprocs=16, scale=SCALE))
+    doubled, flat = results["doubled"], results["flat"]
+    gain = doubled.elapsed_cycles / flat.elapsed_cycles
+    print(f"\nlazy per-byte doubling costs {gain - 1:.1%} wall-clock "
+          "on Water/LH at 16 procs")
+    assert flat.elapsed_cycles < doubled.elapsed_cycles

@@ -1,0 +1,33 @@
+"""Extension study: multithreading to hide lock latency (section 8).
+
+The paper's closing conjecture: masking lock-acquisition latency with
+multithreading might help fine-grained programs, "but the attendant
+increase in communication could prove prohibitive in software DSMs."
+This benchmark measures exactly that tradeoff on Cholesky: a second
+thread per node overlaps lock stalls with computation; piling on more
+threads multiplies the consistency traffic until it dominates.
+"""
+
+from benchmarks.conftest import SCALE, run_once
+from repro.analysis.extensions import multithreading_study
+
+
+def test_ext_multithreading_tradeoff(benchmark):
+    study = run_once(benchmark,
+                     lambda: multithreading_study(
+                         nprocs=8, thread_counts=(1, 2, 4),
+                         scale=SCALE))
+    print("\n== Extension: Cholesky with T threads/node "
+          "(8 procs, LH) ==")
+    print(f"{'threads':>8s} {'speedup':>8s} {'messages':>9s} "
+          f"{'elapsed Mcycles':>16s}")
+    for threads, row in sorted(study.items()):
+        print(f"{threads:>8d} {row['speedup']:8.2f} "
+              f"{row['messages']:9.0f} "
+              f"{row['elapsed_cycles'] / 1e6:16.1f}")
+
+    # The paper's tension, measured: a second thread helps...
+    assert study[2]["elapsed_cycles"] < study[1]["elapsed_cycles"]
+    # ...but more threads drown in their own communication.
+    assert study[4]["messages"] > 1.4 * study[1]["messages"]
+    assert study[4]["elapsed_cycles"] > study[2]["elapsed_cycles"]

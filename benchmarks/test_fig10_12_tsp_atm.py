@@ -1,0 +1,49 @@
+"""Figures 10-12: TSP on the 100 Mbit ATM.
+
+Paper: coarse-grained, so all protocols scale, but the *eager*
+protocols edge out the lazy ones — the branch-and-bound global minimum
+is read without synchronization, eager releases push the fresh bound
+everywhere, and staler bounds make the lazy runs explore more
+unpromising tours (section 6.2).  Contention for the single tour-queue
+lock wastes ~10% of a 16-processor run.
+"""
+
+from benchmarks.conftest import PROCS, SCALE, run_once
+from repro.analysis import (APP_PARAMS, fig10_12_tsp_atm,
+                            format_curve_table)
+from repro.apps import create_app
+from repro.core import MachineConfig, NetworkConfig, run_app
+
+
+def test_fig10_12_tsp_atm(benchmark):
+    result = run_once(benchmark,
+                      lambda: fig10_12_tsp_atm(scale=SCALE,
+                                               proc_counts=PROCS))
+    print()
+    print(format_curve_table(result, "speedup"))
+    print(format_curve_table(result, "messages", fmt="{:8.0f}"))
+    print(format_curve_table(result, "data_kbytes", fmt="{:8.0f}"))
+    for protocol, curve in result.curves.items():
+        # Shape: coarse grain scales under every protocol.
+        assert curve.speedup[16] > 4.0, protocol
+        assert curve.speedup[8] > 3.0, protocol
+
+
+def test_stale_minimum_extra_exploration(benchmark):
+    """The mechanism behind figure 10: lazy protocols read staler
+    bounds and therefore visit at least as many search nodes."""
+    params = APP_PARAMS[SCALE]["tsp"]
+    config = MachineConfig(nprocs=8, network=NetworkConfig.atm())
+
+    def measure():
+        explored = {}
+        for protocol in ("eu", "li"):
+            app = create_app("tsp", **params)
+            result = run_app(app, config, protocol=protocol)
+            explored[protocol] = app.total_explored(result)
+        return explored
+
+    explored = run_once(benchmark, measure)
+    print(f"\nsearch nodes explored: eager(eu)={explored['eu']} "
+          f"lazy(li)={explored['li']}")
+    assert explored["li"] >= explored["eu"]

@@ -1,0 +1,38 @@
+"""Figures 13-15: Water on the 100 Mbit ATM.
+
+Paper: the medium-grained program where *protocol choice matters most*.
+LH performs best — the molecules' migratory behaviour lets the hybrid
+piggyback exactly the data the acquirer is about to touch, cutting
+access misses.  The lazy protocols beat the eager ones, and EU sends
+an order of magnitude more messages than any lazy protocol (91% of its
+messages are updates pushed at lock releases).  At 16 processors the
+best/worst gap exceeds 3x.
+"""
+
+from benchmarks.conftest import PROCS, SCALE, run_once
+from repro.analysis import fig13_15_water_atm, format_curve_table
+
+
+def test_fig13_15_water_atm(benchmark):
+    result = run_once(benchmark,
+                      lambda: fig13_15_water_atm(scale=SCALE,
+                                                 proc_counts=PROCS))
+    print()
+    print(format_curve_table(result, "speedup"))
+    print(format_curve_table(result, "messages", fmt="{:8.0f}"))
+    print(format_curve_table(result, "data_kbytes", fmt="{:8.0f}"))
+
+    speedup = {p: c.speedup[16] for p, c in result.curves.items()}
+    messages = {p: c.messages[16] for p, c in result.curves.items()}
+    # Shape 1 (fig 13): the hybrid wins (or ties LU within noise).
+    best = max(speedup, key=speedup.get)
+    assert best in ("lh", "lu"), f"best was {best}"
+    assert speedup["lh"] >= 0.95 * speedup[best]
+    # Shape 2 (fig 13): lazy beats eager, decisively.
+    assert min(speedup["lh"], speedup["li"], speedup["lu"]) \
+        > max(speedup["ei"], speedup["eu"])
+    # Shape 3 (paper: >3x between best and worst at 16 procs).
+    assert speedup[best] / min(speedup.values()) > 3.0
+    # Shape 4 (fig 14): eager update floods the network with messages
+    # (paper: an order of magnitude more than the lazy protocols).
+    assert messages["eu"] > 5 * messages["lh"]

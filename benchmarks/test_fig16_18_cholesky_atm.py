@@ -1,0 +1,79 @@
+"""Figures 16-18: Cholesky on the 100 Mbit ATM.
+
+Paper: the fine-grained program no software DSM can save — the task
+queue and per-column locks synchronize every few thousand cycles, so
+speedup never exceeds ~1.3 under any protocol.  The lazy protocols
+(LH in particular) still cut messages and data drastically relative to
+the eager ones, whose updates/invalidations amplify the false sharing,
+but the communication remains beyond what a software DSM can support.
+"""
+
+from benchmarks.conftest import PROCS, SCALE, run_once
+from repro.analysis import (fig16_18_cholesky_atm, format_curve_table,
+                            sync_message_fraction)
+
+
+def test_fig16_18_cholesky_atm(benchmark):
+    result = run_once(benchmark,
+                      lambda: fig16_18_cholesky_atm(scale=SCALE,
+                                                    proc_counts=PROCS))
+    print()
+    print(format_curve_table(result, "speedup"))
+    print(format_curve_table(result, "messages", fmt="{:8.0f}"))
+    print(format_curve_table(result, "data_kbytes", fmt="{:8.0f}"))
+
+    for protocol, curve in result.curves.items():
+        # Shape 1 (fig 16): essentially no speedup, ever.
+        assert max(curve.speedup.values()) <= 1.5, protocol
+    messages = {p: c.messages[16] for p, c in result.curves.items()}
+    data = {p: c.data_kbytes[16] for p, c in result.curves.items()}
+    # Shape 2 (figs 17-18): lazy moves fewer messages and less data
+    # than eager.  (Idle-worker queue polling adds protocol-neutral
+    # lock traffic on top, so the gap is smaller than the paper's
+    # pure-consistency counts.)
+    assert messages["lh"] < 0.8 * messages["ei"]
+    assert messages["lh"] < 0.8 * messages["eu"]
+    assert data["lh"] < data["ei"]
+    assert data["li"] < data["ei"]
+
+
+def test_lock_acquisition_dominates_time(benchmark):
+    """Paper section 6.2: '84% of each processor's time was spent
+    acquiring locks in the 16-processor LH Cholesky run'."""
+    from benchmarks.conftest import SCALE
+    from repro.analysis import APP_PARAMS
+    from repro.apps import create_app
+    from repro.core import MachineConfig, NetworkConfig, run_app
+
+    def measure():
+        result = run_app(
+            create_app("cholesky", **APP_PARAMS[SCALE]["cholesky"]),
+            MachineConfig(nprocs=16, network=NetworkConfig.atm()),
+            protocol="lh")
+        return result.time_breakdown()
+
+    breakdown = run_once(benchmark, measure)
+    print("\ncholesky/lh 16p time breakdown: "
+          + ", ".join(f"{k}={v:.0%}" for k, v in breakdown.items()))
+    assert breakdown["lock_wait"] > 0.6  # paper: 84%
+    assert breakdown["lock_wait"] > breakdown["compute"]
+
+
+def test_synchronization_dominates_messages(benchmark):
+    """Paper section 6.2: 96% of Cholesky's messages (and 83% of
+    Water's) exist purely for synchronization."""
+    def measure():
+        return {
+            "cholesky": sync_message_fraction("cholesky", nprocs=16,
+                                              scale=SCALE),
+            "water": sync_message_fraction("water", nprocs=16,
+                                           scale=SCALE),
+        }
+
+    fractions = run_once(benchmark, measure)
+    print(f"\nsync message fraction: cholesky="
+          f"{fractions['cholesky']:.0%} (paper 96%), "
+          f"water={fractions['water']:.0%} (paper 83%)")
+    assert fractions["cholesky"] > 0.6
+    assert fractions["water"] > 0.5
+    assert fractions["cholesky"] > fractions["water"]

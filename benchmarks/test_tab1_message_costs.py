@@ -1,0 +1,40 @@
+"""Table 1: message costs of the shared-memory operations.
+
+Micro-scenarios isolate each operation and check the measured message
+counts against the paper's closed forms (2m misses, 3-message lock
+transfers, free lazy releases vs 2c eager releases, 2(n-1) barriers
+plus u / 2u / v protocol-specific terms).
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis.table1 import EXPECTED, run_table1
+
+
+def test_tab1_message_costs(benchmark):
+    rows = run_once(benchmark, run_table1)
+    print("\n== Table 1: measured message counts ==")
+    for name, row in rows.items():
+        print(f"{name:22s} {row}")
+
+    for scenario, expected in EXPECTED.items():
+        for protocol, count in expected.items():
+            measured = rows[scenario][protocol]
+            if isinstance(measured, dict):
+                measured = measured["total"]
+            assert measured == count, (
+                f"{scenario}/{protocol}: measured {measured}, "
+                f"Table 1 says {count}")
+
+    dirty = rows["barrier_dirty_n4"]
+    n = 4
+    base = 2 * (n - 1)
+    # LH: 2(n-1) + u unacknowledged pushes (u = 4 neighbour cachers).
+    assert dirty["lh"]["total"] == base + 4
+    # LI: bare 2(n-1) (invalidation-only; notices ride the barrier).
+    assert dirty["li"]["total"] == base
+    # LU and EU: 2(n-1) + 2u (pushes/flushes are acknowledged).
+    assert dirty["lu"]["total"] == base + 8
+    assert dirty["eu"]["total"] == base + 8
+    # EI: 2(n-1) + v merge messages (here each modifier updates the
+    # page's home and invalidates the neighbour cacher, acknowledged).
+    assert dirty["ei"]["total"] == base + 8

@@ -1,0 +1,50 @@
+"""Table 2: speedups with different network characteristics (LH, 16p).
+
+Paper's claims:
+
+- the Ethernet is hopeless for modern processors (serialization,
+  collisions, low bandwidth) even for coarse-grained Jacobi;
+- removing collisions alone helps, but a 10 Mbit *point-to-point*
+  network already beats a collision-free 10 Mbit Ethernet for Jacobi —
+  most of the ATM's benefit for this program is network concurrency,
+  not raw bandwidth;
+- Water, whose communication is irregular, needs both concurrency and
+  bandwidth;
+- going from 100 Mbit to 1 Gbit barely helps at 40 MHz: the software
+  overhead has become the bottleneck.
+"""
+
+from benchmarks.conftest import SCALE, run_once
+from repro.analysis import format_matrix, tab2_networks
+
+
+def test_tab2_network_characteristics(benchmark):
+    rows = run_once(benchmark, lambda: tab2_networks(scale=SCALE,
+                                                     nprocs=16))
+    print()
+    print(format_matrix("Table 2: speedups on five networks "
+                        "(LH, 16 procs)", rows,
+                        col_order=["jacobi", "water"]))
+
+    eth = rows["10Mb Ethernet w/ coll"]
+    eth_nc = rows["10Mb Ethernet w/o coll"]
+    atm10 = rows["10Mb ATM"]
+    atm100 = rows["100Mb ATM"]
+    atm1000 = rows["1Gb ATM"]
+
+    for app in ("jacobi", "water"):
+        # Collisions only ever hurt.
+        assert eth_nc[app] >= eth[app], app
+        # Concurrency at equal bandwidth is a big win.
+        assert atm10[app] > 1.5 * eth_nc[app], app
+        # More bandwidth helps further...
+        assert atm100[app] > atm10[app], app
+        # ...but the last 10x is mostly wasted: software overhead
+        # dominates (paper: "does not improve performance
+        # significantly with a 40 MHz processor").
+        gain_100 = atm100[app] / atm10[app]
+        gain_1000 = atm1000[app] / atm100[app]
+        assert gain_1000 < gain_100, app
+        assert gain_1000 < 1.35, app
+    # The ATM restores real scalability for the coarse-grained app.
+    assert atm100["jacobi"] > 8.0

@@ -1,0 +1,63 @@
+"""Table 3: speedups with zero / normal / double software overhead
+(16 processors, 100 Mbit ATM).
+
+Paper's claims:
+
+- removing software overhead reveals the protocols' potential (an
+  upper bound motivating hardware support): Water's lazy protocols
+  gain ~80%, EU more than 4x;
+- with zero overhead the per-message penalty vanishes, so protocols
+  that move *less data* win — LI can overtake LH on Cholesky;
+- doubling overhead costs every protocol, and the lazy protocols (LH
+  especially) degrade the most gracefully as communication gets more
+  expensive.
+"""
+
+from benchmarks.conftest import SCALE, run_once
+from repro.analysis import format_matrix, tab3_overheads
+from repro.protocols import PROTOCOL_NAMES
+
+
+def test_tab3_software_overhead(benchmark):
+    table = run_once(benchmark, lambda: tab3_overheads(scale=SCALE,
+                                                       nprocs=16))
+    print()
+    for app, rows in table.items():
+        print(format_matrix(f"Table 3: {app} speedups vs overhead "
+                            "(16 procs)", rows,
+                            col_order=PROTOCOL_NAMES))
+
+    for app, rows in table.items():
+        if app == "tsp":
+            # Branch-and-bound work is timing-dependent (search
+            # anomaly): a slower machine can get lucky with bound
+            # propagation, so monotonicity does not apply.  Just
+            # require that TSP keeps scaling at every overhead level.
+            for label in ("zero", "normal", "double"):
+                assert min(rows[label].values()) > 3.0, label
+            continue
+        for protocol in PROTOCOL_NAMES:
+            zero = rows["zero"][protocol]
+            normal = rows["normal"][protocol]
+            double = rows["double"][protocol]
+            # Overhead monotonically hurts (5% tolerance: changed
+            # message timing perturbs network contention slightly).
+            assert zero >= 0.95 * normal, (app, protocol)
+            assert normal >= 0.95 * double, (app, protocol)
+
+    # Water: the paper's headline sensitivities.
+    water = table["water"]
+    lazy_gain = sum(water["zero"][p] / water["normal"][p]
+                    for p in ("lh", "li", "lu")) / 3
+    assert lazy_gain > 1.2  # paper: ~1.8
+    # EU remains far behind LH with overhead included (paper: "runs
+    # three times slower than the LH protocol").
+    assert water["normal"]["lh"] > 1.5 * water["normal"]["eu"]
+
+    # With normal overhead the hybrid wins Water; with zero overhead
+    # the data-lean invalidate protocols close the gap (paper: LI
+    # overtakes LH on Cholesky).
+    chol = table["cholesky"]
+    gap_normal = chol["normal"]["lh"] / chol["normal"]["li"]
+    gap_zero = chol["zero"]["lh"] / chol["zero"]["li"]
+    assert gap_zero < gap_normal + 0.05

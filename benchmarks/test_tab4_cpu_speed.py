@@ -1,0 +1,29 @@
+"""Table 4: speedups at different processor speeds (LH).
+
+Paper's claims: Jacobi and TSP barely notice the processor speed
+(little communication, and the software overhead scales *with* the
+processor).  Water and Cholesky communicate enough that the fixed
+network latency matters: a faster processor shrinks computation but
+not wire time, so their speedup *drops* as the CPU gets faster.
+"""
+
+from benchmarks.conftest import SCALE, run_once
+from repro.analysis import format_matrix, tab4_cpu_speeds
+
+
+def test_tab4_processor_speeds(benchmark):
+    table = run_once(benchmark, lambda: tab4_cpu_speeds(scale=SCALE,
+                                                        nprocs=16))
+    print()
+    print(format_matrix("Table 4: LH speedups vs CPU speed (16 procs)",
+                        table, col_order=[20.0, 40.0, 80.0]))
+
+    # Coarse grain: nearly flat across a 4x CPU range.
+    for app in ("jacobi", "tsp"):
+        values = table[app]
+        spread = max(values.values()) / max(1e-9, min(values.values()))
+        assert spread < 1.6, (app, values)
+    # Fine/medium grain: faster processors hurt the speedup.
+    for app in ("water", "cholesky"):
+        values = table[app]
+        assert values[20.0] > values[80.0], (app, values)

@@ -1,0 +1,32 @@
+"""Table 5: the effect of reducing the page size to 1024 bytes (LH).
+
+Paper's claim: smaller pages reduce false sharing, but roughly the
+same number of processors must still be contacted to maintain
+consistency and the access-miss count rises, so the net effect on
+speedup is limited — restructuring the program would pay more.
+"""
+
+from benchmarks.conftest import SCALE, run_once
+from repro.analysis import format_matrix, tab5_page_size
+
+
+def test_tab5_page_size(benchmark):
+    table = run_once(benchmark, lambda: tab5_page_size(
+        scale=SCALE, proc_counts=(8, 16)))
+    print()
+    for app, by_size in table.items():
+        rows = {f"{size}B pages": {f"{p}p": s
+                                   for p, s in by_procs.items()}
+                for size, by_procs in by_size.items()}
+        print(format_matrix(f"Table 5: {app} (LH)", rows,
+                            col_order=["8p", "16p"]))
+
+    for app, by_size in table.items():
+        for procs in (8, 16):
+            big = by_size[4096][procs]
+            small = by_size[1024][procs]
+            # Limited, mixed effect: less false sharing per page but
+            # more misses; never a free order-of-magnitude win (the
+            # fine-grained app actually loses from the extra misses).
+            ratio = small / max(big, 1e-9)
+            assert 0.25 < ratio < 2.2, (app, procs, big, small)

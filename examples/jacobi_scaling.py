@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""Jacobi scaling study: grain size vs communication cost.
+
+Sweeps the grid size to show the compute/communication tradeoff that
+decides whether a software DSM pays off: small grids are
+communication-bound (no speedup), large grids amortize the page and
+barrier traffic and approach linear scaling on the ATM.
+
+Run:  python examples/jacobi_scaling.py
+"""
+
+from repro import MachineConfig, NetworkConfig, run_app
+from repro.apps import Jacobi
+
+
+def main() -> None:
+    proc_counts = [2, 4, 8, 16]
+    grids = [64, 128, 256, 512]
+    iterations = 4
+
+    print("Jacobi on 100 Mbit ATM, lazy hybrid — speedups\n")
+    print(f"{'grid':>6s}" + "".join(f"{p:>8d}p" for p in proc_counts))
+    for n in grids:
+        baseline = run_app(Jacobi(n=n, iterations=iterations),
+                           MachineConfig(nprocs=1))
+        cells = []
+        for nprocs in proc_counts:
+            config = MachineConfig(nprocs=nprocs,
+                                   network=NetworkConfig.atm())
+            result = run_app(Jacobi(n=n, iterations=iterations),
+                             config, protocol="lh")
+            cells.append(f"{result.speedup_over(baseline):8.2f}")
+        print(f"{n:>4d}^2" + "".join(cells))
+
+    print("\nEach element costs ~20 cycles; each boundary exchange "
+          "costs a page-\nsized diff plus per-message software "
+          "overhead.  Below ~128^2 the DSM\noverhead eats the "
+          "parallelism; by 512^2 (the paper's size) the grain\n"
+          "(~324K cycles per synchronization at 16 processors) "
+          "scales nearly\nlinearly — Figure 7 of the paper.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Network study: the paper's Ethernet-vs-ATM argument, live.
+
+Runs Jacobi (coarse-grained) across processor counts on the three
+network generations the paper compares — a 10 Mbit shared Ethernet, a
+collision-free variant, and a 100 Mbit ATM crossbar — and shows why
+1993's emerging point-to-point networks changed the viability of
+software DSM.
+
+Run:  python examples/network_study.py
+"""
+
+from repro import MachineConfig, NetworkConfig, run_app
+from repro.apps import Jacobi
+
+
+def fresh_app():
+    return Jacobi(n=256, iterations=4)
+
+
+def main() -> None:
+    networks = [
+        ("10Mb Ethernet", NetworkConfig.ethernet(collisions=True)),
+        ("10Mb Ethernet, no collisions",
+         NetworkConfig.ethernet(collisions=False)),
+        ("100Mb ATM crossbar", NetworkConfig.atm()),
+    ]
+    proc_counts = [1, 2, 4, 8, 16]
+
+    baseline = run_app(fresh_app(), MachineConfig(nprocs=1))
+    print(f"Jacobi {fresh_app().n}x{fresh_app().n}, lazy hybrid\n")
+    header = f"{'network':<30s}" + "".join(f"{p:>7d}p"
+                                           for p in proc_counts)
+    print(header)
+    for name, network in networks:
+        cells = []
+        for nprocs in proc_counts:
+            if nprocs == 1:
+                cells.append(f"{1.0:7.2f}")
+                continue
+            config = MachineConfig(nprocs=nprocs, network=network)
+            result = run_app(fresh_app(), config, protocol="lh")
+            cells.append(f"{result.speedup_over(baseline):7.2f}")
+        print(f"{name:<30s}" + "".join(cells))
+
+    print("\nThe shared medium saturates (speedup peaks early, then "
+          "declines);\nthe crossbar keeps scaling because disjoint "
+          "pairs of processors\ncommunicate concurrently — the "
+          "paper's core architectural point.")
+
+
+if __name__ == "__main__":
+    main()

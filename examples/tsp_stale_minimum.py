@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""The stale-minimum effect (paper section 6.2), demonstrated.
+
+TSP's branch-and-bound reads the global minimum *without*
+synchronization to prune its search.  Under an eager protocol every
+lock release pushes the fresh minimum to all cachers, so remote
+processors rarely see a stale bound; under a lazy protocol the local
+copy only updates at the next acquire, so processors prune against
+stale bounds and explore more unpromising tours.
+
+This script runs the identical TSP instance under eager update and
+lazy invalidate and compares how many search nodes each visited — the
+measurable cause of eager TSP's edge in Figure 10.
+
+Run:  python examples/tsp_stale_minimum.py
+"""
+
+from repro import MachineConfig, NetworkConfig, run_app
+from repro.apps import Tsp
+
+
+def main() -> None:
+    config = MachineConfig(nprocs=8, network=NetworkConfig.atm())
+    print("TSP, 10 cities, 8 processors, 100 Mbit ATM\n")
+    results = {}
+    for protocol, label in (("eu", "eager update"),
+                            ("lh", "lazy hybrid"),
+                            ("li", "lazy invalidate")):
+        app = Tsp(ncities=10, seed=42, cycles_per_node=1000)
+        result = run_app(app, config, protocol=protocol)
+        explored = app.total_explored(result)
+        optimum = min(r["min"] for r in result.app_result)
+        results[protocol] = explored
+        print(f"{label:<16s}: optimum={optimum:8.2f}  "
+              f"search nodes visited={explored:7d}  "
+              f"simulated Mcycles={result.elapsed_cycles / 1e6:7.1f}")
+
+    extra = results["li"] / results["eu"] - 1.0
+    print(f"\nlazy invalidate explored {extra:+.1%} search nodes vs "
+          "eager update\n(every protocol still finds the same optimal "
+          "tour — staleness costs\nwork, not correctness)")
+
+
+if __name__ == "__main__":
+    main()

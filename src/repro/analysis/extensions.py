@@ -1,0 +1,71 @@
+"""The paper's future-work directions, implemented and measured.
+
+Section 8 closes: *"the only possible approach may be to hide the
+latency of lock acquisition.  Multithreading is a common technique for
+masking the latency of expensive operations, but the attendant
+increase in communication could prove prohibitive in software DSMs."*
+
+:func:`multithreading_study` tests that hypothesis directly: Cholesky
+(whose 16-processor LH run spends ~85% of its time acquiring locks)
+is run with 1, 2, and 4 worker threads per node.  Extra threads
+overlap their lock stalls behind each other's computation — and also
+multiply the message count, exactly the tension the paper predicted.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.analysis.experiments import APP_PARAMS
+from repro.apps import create_app
+from repro.core.api import DsmApi
+from repro.core.config import MachineConfig, NetworkConfig
+from repro.core.machine import Machine
+from repro.core.metrics import RunResult
+from repro.core.runner import run_app
+
+
+def run_threaded_cholesky(nprocs: int, threads: int,
+                          scale: str = "bench",
+                          protocol: str = "lh") -> RunResult:
+    """Cholesky with ``threads`` worker threads per node."""
+    app = create_app("cholesky", **APP_PARAMS[scale]["cholesky"])
+    machine = Machine(MachineConfig(nprocs=nprocs,
+                                    network=NetworkConfig.atm()),
+                      protocol=protocol)
+    shared = app.setup(machine)
+    if threads == 1:
+        result = machine.run(
+            lambda proc: app.worker(DsmApi(machine.nodes[proc]),
+                                    proc, shared),
+            app=app.name)
+    else:
+        result = machine.run(
+            lambda proc, thread: app.worker_thread(
+                DsmApi(machine.nodes[proc]), proc, thread, shared),
+            threads_per_proc=threads, app=app.name)
+    app.finish(machine, shared, result)
+    return result
+
+
+def multithreading_study(nprocs: int = 8,
+                         thread_counts=(1, 2, 4),
+                         scale: str = "bench",
+                         protocol: str = "lh"
+                         ) -> Dict[int, Dict[str, float]]:
+    """Elapsed time, messages, and lock-wait share of Cholesky as the
+    thread count grows.  Returns per-thread-count summaries."""
+    app = create_app("cholesky", **APP_PARAMS[scale]["cholesky"])
+    baseline = run_app(app, MachineConfig(nprocs=1))
+    study: Dict[int, Dict[str, float]] = {}
+    for threads in thread_counts:
+        result = run_threaded_cholesky(nprocs, threads, scale=scale,
+                                       protocol=protocol)
+        breakdown = result.time_breakdown()
+        study[threads] = {
+            "elapsed_cycles": result.elapsed_cycles,
+            "speedup": baseline.elapsed_cycles / result.elapsed_cycles,
+            "messages": float(result.total_messages),
+            "lock_wait_fraction": breakdown.get("lock_wait", 0.0),
+        }
+    return study

@@ -1,0 +1,96 @@
+"""Message timeline tap: observe every message a simulation sends.
+
+Wraps a machine's network with a recording layer.  Used for debugging
+protocol behaviour, for the fine-grained traffic statistics the paper
+quotes (e.g. "91% of EU's messages are updates sent during lock
+releases"), and by tests that pin down *when* and *why* traffic
+happens, not just how much.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.machine import Machine
+from repro.net.message import Message, MsgKind
+
+
+@dataclass(frozen=True)
+class MessageEvent:
+    """One transmitted message, with its send time."""
+
+    time: float
+    src: int
+    dst: int
+    kind: MsgKind
+    data_bytes: int
+    size_bytes: int
+
+
+class MessageTimeline:
+    """Recorded transmissions, in send order."""
+
+    def __init__(self) -> None:
+        self.events: List[MessageEvent] = []
+
+    def record(self, time: float, message: Message) -> None:
+        self.events.append(MessageEvent(
+            time=time, src=message.src, dst=message.dst,
+            kind=message.kind, data_bytes=message.data_bytes,
+            size_bytes=message.size_bytes))
+
+    # -- queries -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def count_by_kind(self) -> Dict[MsgKind, int]:
+        return dict(Counter(event.kind for event in self.events))
+
+    def fraction_by_kind(self, kind: MsgKind) -> float:
+        if not self.events:
+            return 0.0
+        return sum(1 for e in self.events if e.kind == kind) \
+            / len(self.events)
+
+    def between(self, start: float, end: float) -> List[MessageEvent]:
+        return [e for e in self.events if start <= e.time < end]
+
+    def pair_matrix(self) -> Dict[Tuple[int, int], int]:
+        """(src, dst) -> message count: who talks to whom."""
+        return dict(Counter((e.src, e.dst) for e in self.events))
+
+    def busiest_pair(self) -> Optional[Tuple[int, int]]:
+        matrix = self.pair_matrix()
+        if not matrix:
+            return None
+        return max(matrix, key=matrix.get)
+
+    def data_by_kind(self) -> Dict[MsgKind, int]:
+        totals: Counter = Counter()
+        for event in self.events:
+            totals[event.kind] += event.data_bytes
+        return dict(totals)
+
+    def rate_per_mcycle(self, horizon: Optional[float] = None) -> float:
+        """Messages per million cycles over the recorded span."""
+        if not self.events:
+            return 0.0
+        span = horizon or (self.events[-1].time + 1.0)
+        return len(self.events) / span * 1e6
+
+
+def attach_timeline(machine: Machine) -> MessageTimeline:
+    """Tap a machine's network; returns the timeline being filled."""
+    timeline = MessageTimeline()
+    network = machine.network
+    original = network.transmit
+
+    def tapped(message: Message):
+        timeline.record(machine.sim.now, message)
+        return original(message)
+
+    network.transmit = tapped
+    return timeline

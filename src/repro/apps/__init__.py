@@ -1,0 +1,13 @@
+"""The paper's application suite: Jacobi, TSP, Water, Cholesky."""
+
+from repro.apps.base import Application, block_range
+from repro.apps.cholesky import Cholesky
+from repro.apps.jacobi import Jacobi
+from repro.apps.registry import APP_NAMES, create_app
+from repro.apps.tsp import Tsp
+from repro.apps.water import Water
+
+__all__ = [
+    "APP_NAMES", "Application", "Cholesky", "Jacobi", "Tsp", "Water",
+    "block_range", "create_app",
+]

@@ -1,0 +1,31 @@
+"""Application registry: name -> constructor with scaled defaults."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.apps.base import Application
+from repro.apps.cholesky import Cholesky
+from repro.apps.jacobi import Jacobi
+from repro.apps.tsp import Tsp
+from repro.apps.water import Water
+
+#: The paper's application suite, coarse to fine grained.
+APP_NAMES: List[str] = ["jacobi", "tsp", "water", "cholesky"]
+
+_FACTORIES: Dict[str, Callable[..., Application]] = {
+    "jacobi": Jacobi,
+    "tsp": Tsp,
+    "water": Water,
+    "cholesky": Cholesky,
+}
+
+
+def create_app(name: str, **kwargs) -> Application:
+    """Instantiate an application by name with keyword overrides."""
+    try:
+        factory = _FACTORIES[name.lower()]
+    except KeyError:
+        raise ValueError(f"unknown application {name!r}; choose from "
+                         f"{sorted(_FACTORIES)}") from None
+    return factory(**kwargs)

@@ -1,0 +1,318 @@
+"""TSP: branch-and-bound traveling salesman over a shared tour queue.
+
+The paper's second coarse-grained workload.  Structure follows the
+description in sections 5.1 and 6.2:
+
+- a global queue of partial tours, protected by one lock; an acquirer
+  holds the queue lock while it checks the topmost tour's promise and
+  keeps popping until it finds a promising one;
+- a global minimum tour length whose *read is not synchronized*: a
+  processor prunes against a possibly stale minimum and only acquires
+  the minimum lock (re-checking) when it believes it found a better
+  tour.  Under the eager protocols each release pushes the fresh
+  minimum to all cachers, so pruning is tighter and fewer tours are
+  explored — the effect that makes eager TSP beat lazy TSP in the
+  paper (Figure 10).
+
+Partial tours up to ``queue_depth`` cities are expanded through the
+queue; deeper suffixes are solved locally with recursive
+branch-and-bound, charging compute cycles per node visited.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Generator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.apps.base import Application
+from repro.core.api import DsmApi
+from repro.core.machine import Machine
+from repro.core.metrics import RunResult
+
+#: Compute cycles charged per branch-and-bound node visited.
+CYCLES_PER_NODE = 120.0
+#: Cycles to evaluate one partial tour's promise at the queue head.
+CYCLES_PER_CHECK = 60.0
+
+QUEUE_LOCK = 0
+MIN_LOCK = 1
+
+
+def city_coordinates(ncities: int, seed: int = 42) -> np.ndarray:
+    rng = np.random.RandomState(seed)
+    return rng.uniform(0.0, 100.0, size=(ncities, 2))
+
+
+def distance_matrix(coords: np.ndarray) -> np.ndarray:
+    delta = coords[:, None, :] - coords[None, :, :]
+    return np.sqrt((delta ** 2).sum(axis=2))
+
+
+def sequential_tsp(dist: np.ndarray) -> float:
+    """Oracle: exact branch-and-bound from city 0."""
+    n = len(dist)
+    best = [float("inf")]
+
+    def recurse(path: List[int], length: float, visited: int) -> None:
+        if length >= best[0]:
+            return
+        if len(path) == n:
+            best[0] = min(best[0], length + dist[path[-1], 0])
+            return
+        last = path[-1]
+        order = sorted(range(n), key=lambda c: dist[last, c])
+        for city in order:
+            if not visited & (1 << city):
+                recurse(path + [city], length + dist[last, city],
+                        visited | (1 << city))
+
+    recurse([0], 0.0, 1)
+    return best[0]
+
+
+@dataclass
+class TspShared:
+    dist_seg: object
+    queue_seg: object
+    min_seg: object
+    ncities: int
+    queue_depth: int
+    slot_words: int
+    max_slots: int
+    dist: np.ndarray  # workers also receive it read-only for setup
+
+
+class Tsp(Application):
+    """Branch-and-bound TSP (paper: 18 cities; default scaled to 10)."""
+
+    name = "tsp"
+
+    def __init__(self, ncities: int = 10, queue_depth: int = 3,
+                 seed: int = 42,
+                 cycles_per_node: float = CYCLES_PER_NODE) -> None:
+        if not 3 <= ncities <= 20:
+            raise ValueError("ncities must be in [3, 20]")
+        self.ncities = ncities
+        self.queue_depth = min(queue_depth, ncities - 1)
+        self.seed = seed
+        self.cycles_per_node = cycles_per_node
+        self.dist = distance_matrix(city_coordinates(ncities, seed))
+
+    def setup(self, machine: Machine) -> TspShared:
+        n = self.ncities
+        # Tour slot: [num_cities, length, city0..city_{depth-1}]
+        slot_words = 2 + self.queue_depth
+        max_slots = 4 * (math.factorial(self.queue_depth) * n ** 2
+                         ) // n + 64
+        dist_seg = machine.allocate("tsp_dist", n * n,
+                                    init=self.dist.ravel())
+        # Queue header (slot 0 of its own page): [count]
+        queue_seg = machine.allocate("tsp_queue",
+                                     64 + max_slots * slot_words,
+                                     init=np.zeros(64 + max_slots
+                                                   * slot_words))
+        min_seg = machine.allocate("tsp_min", 16,
+                                   init=np.full(16, 1e18))
+        # Entry-consistency annotations ('ec' protocol only).
+        machine.bind_lock(QUEUE_LOCK, queue_seg)
+        machine.bind_lock(MIN_LOCK, min_seg)
+        return TspShared(dist_seg=dist_seg, queue_seg=queue_seg,
+                         min_seg=min_seg, ncities=n,
+                         queue_depth=self.queue_depth,
+                         slot_words=slot_words, max_slots=max_slots,
+                         dist=self.dist)
+
+    # -- queue helpers (caller must hold QUEUE_LOCK) ---------------------
+
+    @staticmethod
+    def _slot_base(shared: TspShared, index: int) -> int:
+        return 64 + index * shared.slot_words
+
+    def _push_tour(self, api: DsmApi, shared: TspShared,
+                   tour: List[int], length: float) -> Generator:
+        count = yield from api.read(shared.queue_seg, 0)
+        index = int(count)
+        if index >= shared.max_slots:
+            raise RuntimeError("TSP queue overflow; raise max_slots")
+        base = self._slot_base(shared, index)
+        record = np.zeros(shared.slot_words)
+        record[0] = len(tour)
+        record[1] = length
+        record[2:2 + len(tour)] = tour
+        yield from api.write_region(shared.queue_seg, base,
+                                    base + shared.slot_words, record)
+        yield from api.write(shared.queue_seg, 0, index + 1)
+        # Every queued tour is an outstanding work item (word 1).
+        outstanding = yield from api.read(shared.queue_seg, 1)
+        yield from api.write(shared.queue_seg, 1, outstanding + 1)
+
+    def _finish_items(self, api: DsmApi, shared: TspShared,
+                      count: int) -> Generator:
+        """Mark ``count`` work items complete (queue lock held)."""
+        outstanding = yield from api.read(shared.queue_seg, 1)
+        yield from api.write(shared.queue_seg, 1, outstanding - count)
+
+    def _pop_tour(self, api: DsmApi, shared: TspShared
+                  ) -> Generator:
+        count = yield from api.read(shared.queue_seg, 0)
+        index = int(count) - 1
+        if index < 0:
+            return None
+        base = self._slot_base(shared, index)
+        record = yield from api.read_region(shared.queue_seg, base,
+                                            base + shared.slot_words)
+        yield from api.write(shared.queue_seg, 0, index)
+        ntour = int(record[0])
+        return [int(c) for c in record[2:2 + ntour]], float(record[1])
+
+    # -- the worker --------------------------------------------------------
+
+    def worker(self, api: DsmApi, proc: int,
+               shared: TspShared) -> Generator:
+        n = shared.ncities
+        dist = shared.dist
+        explored = 0
+
+        if proc == 0:
+            # Seed the queue with the root tour.
+            yield from api.acquire(QUEUE_LOCK)
+            yield from self._push_tour(api, shared, [0], 0.0)
+            yield from api.release(QUEUE_LOCK)
+        yield from api.barrier(0)
+
+        while True:
+            # Pop a promising tour, checking promise under the lock
+            # (paper: the topmost tour is vetted while holding it).
+            yield from api.acquire(QUEUE_LOCK)
+            tour = None
+            pruned_under_lock = 0
+            while True:
+                popped = yield from self._pop_tour(api, shared)
+                if popped is None:
+                    break
+                yield from api.compute(CYCLES_PER_CHECK)
+                stale_min = yield from api.read(shared.min_seg, 0)
+                if popped[1] < stale_min:
+                    tour = popped
+                    break
+                explored += 1  # pruned at the queue
+                pruned_under_lock += 1
+            if pruned_under_lock:
+                # Pruned tours count as completed work items.
+                yield from self._finish_items(api, shared,
+                                              pruned_under_lock)
+            outstanding = yield from api.read(shared.queue_seg, 1)
+            yield from api.release(QUEUE_LOCK)
+            if tour is None:
+                if outstanding <= 0:
+                    break  # queue drained and nobody is expanding
+                # Others may still push children: back off and retry.
+                yield from api.compute(2000)
+                continue
+            path, length = tour
+            if len(path) < shared.queue_depth:
+                # Expand one level back into the queue.
+                children = []
+                last = path[-1]
+                for city in range(n):
+                    if city not in path:
+                        child_len = length + dist[last, city]
+                        stale_min = yield from api.read(shared.min_seg,
+                                                        0)
+                        explored += 1
+                        yield from api.compute(self.cycles_per_node)
+                        if child_len < stale_min:
+                            children.append((path + [city], child_len))
+                yield from api.acquire(QUEUE_LOCK)
+                for child, child_len in children:
+                    yield from self._push_tour(api, shared, child,
+                                               child_len)
+                yield from self._finish_items(api, shared, 1)
+                yield from api.release(QUEUE_LOCK)
+            else:
+                # Solve the suffix locally with B&B, re-reading the
+                # *unsynchronized* global minimum as it goes: eager
+                # protocols push fresh bounds into our copy mid-search,
+                # lazy protocols leave it stale until our next acquire
+                # (the paper's section 6.2 effect).
+                best, visited = yield from self._solve_suffix(
+                    api, shared, dist, path, length)
+                explored += visited
+                if best is not None:
+                    # Re-check under the minimum lock before updating.
+                    yield from api.acquire(MIN_LOCK)
+                    current = yield from api.read(shared.min_seg, 0)
+                    if best < current:
+                        yield from api.write(shared.min_seg, 0, best)
+                    yield from api.release(MIN_LOCK)
+                yield from api.acquire(QUEUE_LOCK)
+                yield from self._finish_items(api, shared, 1)
+                yield from api.release(QUEUE_LOCK)
+        yield from api.barrier(1)
+        final = yield from api.read(shared.min_seg, 0)
+        return {"min": final, "explored": explored}
+
+    #: Search nodes between refreshes of the (unsynchronized) bound.
+    BOUND_REFRESH_NODES = 32
+
+    def _solve_suffix(self, api: DsmApi, shared: TspShared,
+                      dist: np.ndarray, path: List[int],
+                      length: float) -> Generator:
+        """Finish a partial tour with iterative depth-first B&B.
+
+        Every :data:`BOUND_REFRESH_NODES` visited nodes, the search
+        charges its computation and re-reads the global minimum
+        without synchronization, so the pruning bound is exactly as
+        fresh as the protocol keeps the local page copy.  Returns
+        (best length found or None, nodes visited)."""
+        n = len(dist)
+        bound = yield from api.read(shared.min_seg, 0)
+        best: Optional[float] = None
+        visited = 0
+        mask = 0
+        for city in path:
+            mask |= 1 << city
+        stack: List[Tuple[int, float, int]] = [(path[-1], length, mask)]
+        # Depth-first over (last city, length, visited-mask) states;
+        # children pushed nearest-first so they pop nearest-first.
+        while stack:
+            last, plen, pmask = stack.pop()
+            visited += 1
+            if visited % self.BOUND_REFRESH_NODES == 0:
+                yield from api.compute(self.BOUND_REFRESH_NODES
+                                       * self.cycles_per_node)
+                fresh = yield from api.read(shared.min_seg, 0)
+                bound = min(bound, fresh)
+            if plen >= bound:
+                continue
+            if pmask == (1 << n) - 1:
+                total = plen + dist[last, 0]
+                if total < bound:
+                    bound = total
+                    best = total
+                continue
+            children = sorted(
+                (c for c in range(n) if not pmask & (1 << c)),
+                key=lambda c: dist[last, c], reverse=True)
+            for city in children:
+                stack.append((city, plen + dist[last, city],
+                              pmask | (1 << city)))
+        yield from api.compute(
+            (visited % self.BOUND_REFRESH_NODES)
+            * self.cycles_per_node)
+        return best, visited
+
+    def finish(self, machine: Machine, shared: TspShared,
+               result: RunResult) -> None:
+        expected = sequential_tsp(shared.dist)
+        got = min(r["min"] for r in result.app_result)
+        if abs(got - expected) > 1e-9 * max(1.0, expected):
+            raise AssertionError(
+                f"TSP optimum mismatch: got {got}, expected {expected} "
+                f"(protocol {result.protocol}, {result.nprocs} procs)")
+
+    def total_explored(self, result: RunResult) -> int:
+        return sum(r["explored"] for r in result.app_result)

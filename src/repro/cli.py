@@ -1,0 +1,173 @@
+"""Command-line interface.
+
+Examples::
+
+    python -m repro run water --procs 8 --protocol lh
+    python -m repro compare water --procs 16
+    python -m repro sweep jacobi --protocol lh --procs 1,2,4,8,16
+    python -m repro networks --app jacobi
+    python -m repro report EXPERIMENTS.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.experiments import APP_PARAMS, protocol_sweep
+from repro.apps import APP_NAMES, create_app
+from repro.core.config import MachineConfig, NetworkConfig
+from repro.core.runner import run_app, sequential_baseline
+from repro.protocols import PROTOCOL_NAMES
+
+
+def _network(args) -> NetworkConfig:
+    if args.network == "ethernet":
+        return NetworkConfig.ethernet(collisions=not args.no_collisions)
+    if args.network == "atm":
+        return NetworkConfig.atm(args.bandwidth)
+    return NetworkConfig.ideal()
+
+
+def _app(args):
+    params = dict(APP_PARAMS[args.scale][args.app])
+    return create_app(args.app, **params)
+
+
+def _config(args, nprocs: Optional[int] = None) -> MachineConfig:
+    return MachineConfig(nprocs=nprocs or args.procs,
+                         cpu_mhz=args.mhz,
+                         page_size=args.page_size,
+                         network=_network(args))
+
+
+def cmd_run(args) -> int:
+    """Run one application once and print its metrics."""
+    result = run_app(_app(args), _config(args), protocol=args.protocol)
+    print(result.summary())
+    breakdown = result.time_breakdown()
+    print("time breakdown: " + ", ".join(
+        f"{name}={value:.0%}" for name, value in breakdown.items()))
+    if args.speedup:
+        baseline = sequential_baseline(lambda: _app(args),
+                                       _config(args))
+        print(f"speedup over sequential: "
+              f"{result.speedup_over(baseline):.2f}x")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    """Run one application under all five protocols."""
+    baseline = sequential_baseline(lambda: _app(args), _config(args))
+    print(f"{args.app} on {args.procs} procs "
+          f"({args.network}, {args.bandwidth:.0f} Mbit)")
+    print(f"{'proto':>6s} {'speedup':>8s} {'messages':>9s} "
+          f"{'data KB':>8s} {'misses':>7s}")
+    for protocol in PROTOCOL_NAMES:
+        result = run_app(_app(args), _config(args), protocol=protocol)
+        print(f"{protocol:>6s} {result.speedup_over(baseline):8.2f} "
+              f"{result.total_messages:9d} {result.data_kbytes:8.1f} "
+              f"{result.access_misses:7d}")
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    """Speedup curve across processor counts."""
+    proc_counts = [int(p) for p in args.proc_list.split(",")]
+    result = protocol_sweep(args.app, _network(args), proc_counts,
+                            protocols=[args.protocol],
+                            scale=args.scale)
+    curve = result.curves[args.protocol]
+    print(f"{args.app}/{args.protocol} on {args.network}")
+    for nprocs in proc_counts:
+        print(f"{nprocs:4d}p  speedup={curve.speedup[nprocs]:6.2f}  "
+              f"messages={curve.messages[nprocs]:7d}  "
+              f"data={curve.data_kbytes[nprocs]:9.1f}KB")
+    return 0
+
+
+def cmd_networks(args) -> int:
+    """One application across the paper's five networks (Table 2)."""
+    from repro.analysis.experiments import TABLE2_NETWORKS
+    factory = lambda: _app(args)  # noqa: E731 - tiny closure
+    baseline = run_app(factory(), MachineConfig(nprocs=1))
+    print(f"{args.app} (LH, {args.procs} procs)")
+    for name, network in TABLE2_NETWORKS:
+        config = MachineConfig(nprocs=args.procs, network=network)
+        result = run_app(factory(), config, protocol="lh")
+        print(f"{name:<26s} speedup={result.speedup_over(baseline):6.2f}")
+    return 0
+
+
+def cmd_report(args) -> int:
+    """Regenerate the full EXPERIMENTS.md report."""
+    from repro.analysis.generate_report import generate
+    report = generate(scale=args.scale)
+    with open(args.output, "w") as handle:
+        handle.write(report)
+    print(f"wrote {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Release-consistent software DSM simulator "
+                    "(ISCA 1993 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, with_app=True):
+        if with_app:
+            p.add_argument("app", choices=APP_NAMES)
+        p.add_argument("--procs", type=int, default=8)
+        p.add_argument("--protocol", choices=PROTOCOL_NAMES,
+                       default="lh")
+        p.add_argument("--network", choices=["atm", "ethernet",
+                                             "ideal"], default="atm")
+        p.add_argument("--bandwidth", type=float, default=100.0,
+                       help="Mbit/s (ATM only)")
+        p.add_argument("--no-collisions", action="store_true")
+        p.add_argument("--mhz", type=float, default=40.0)
+        p.add_argument("--page-size", type=int, default=4096)
+        p.add_argument("--scale", choices=["small", "bench", "large"],
+                       default="bench")
+
+    p_run = sub.add_parser("run", help=cmd_run.__doc__)
+    common(p_run)
+    p_run.add_argument("--speedup", action="store_true",
+                       help="also run the 1-proc baseline")
+    p_run.set_defaults(func=cmd_run)
+
+    p_cmp = sub.add_parser("compare", help=cmd_compare.__doc__)
+    common(p_cmp)
+    p_cmp.set_defaults(func=cmd_compare)
+
+    p_sweep = sub.add_parser("sweep", help=cmd_sweep.__doc__)
+    common(p_sweep)
+    p_sweep.add_argument("--proc-list", default="1,2,4,8,16",
+                         dest="proc_list")
+    p_sweep.set_defaults(func=cmd_sweep)
+
+    p_net = sub.add_parser("networks", help=cmd_networks.__doc__)
+    common(p_net, with_app=False)
+    p_net.add_argument("--app", choices=APP_NAMES, default="jacobi")
+    p_net.set_defaults(func=cmd_networks)
+
+    p_rep = sub.add_parser("report", help=cmd_report.__doc__)
+    p_rep.add_argument("output", nargs="?", default="EXPERIMENTS.md")
+    p_rep.add_argument("--scale", choices=["small", "bench", "large"],
+                       default="bench")
+    p_rep.set_defaults(func=cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

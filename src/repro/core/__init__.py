@@ -1,0 +1,16 @@
+"""Machine glue: configuration, nodes, metrics, the app API, runners."""
+
+from repro.core.api import DsmApi
+from repro.core.config import (MachineConfig, NetworkConfig,
+                               OverheadConfig)
+from repro.core.machine import Machine
+from repro.core.metrics import NodeMetrics, RunResult
+from repro.core.node import Node
+from repro.core.runner import (run_app, run_protocols,
+                               sequential_baseline, speedup_curve)
+
+__all__ = [
+    "DsmApi", "Machine", "MachineConfig", "NetworkConfig", "Node",
+    "NodeMetrics", "OverheadConfig", "RunResult", "run_app",
+    "run_protocols", "sequential_baseline", "speedup_curve",
+]

@@ -1,0 +1,114 @@
+"""Application-facing shared-memory API.
+
+Applications run as generators and interact with the DSM through a
+:class:`DsmApi` handle: region reads/writes on shared segments (which
+fault at page granularity, exactly like the mprotect-based systems the
+paper models), lock acquire/release, global barriers, and explicit
+computation charging.
+
+All blocking operations are generators — call them with ``yield from``:
+
+    def worker(api, proc, nprocs):
+        yield from api.acquire(0)
+        value = yield from api.read(counter, 0)
+        yield from api.write(counter, 0, value + 1)
+        yield from api.release(0)
+        yield from api.barrier(0)
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.mem.addressing import Segment
+
+
+class DsmApi:
+    """Per-node handle applications use for every shared operation."""
+
+    def __init__(self, node) -> None:
+        self._node = node
+        self.proc = node.proc
+        self.nprocs = node.config.nprocs
+
+    # -- shared data -----------------------------------------------------
+
+    def read_region(self, segment: Segment, start: int,
+                    end: int) -> Generator:
+        """Read words [start, end) of ``segment``; returns a numpy copy.
+        Faults (and pays for) any page that is not locally valid."""
+        node = self._node
+        out = np.empty(end - start, dtype=np.float64)
+        cursor = 0
+        for page, lo, hi in segment.page_ranges(start, end):
+            yield from node.protocol.ensure_valid(page, for_write=False)
+            values = node.pagetable.get(page).values
+            out[cursor:cursor + (hi - lo)] = values[lo:hi]
+            cursor += hi - lo
+        return out
+
+    def write_region(self, segment: Segment, start: int, end: int,
+                     values: Union[np.ndarray, Sequence[float], float]
+                     ) -> Generator:
+        """Write ``values`` into words [start, end) of ``segment``."""
+        node = self._node
+        if np.isscalar(values):
+            values = np.full(end - start, float(values))
+        else:
+            values = np.asarray(values, dtype=np.float64)
+            if len(values) != end - start:
+                raise ValueError(
+                    f"write of {len(values)} values into "
+                    f"[{start},{end})")
+        cursor = 0
+        for page, lo, hi in segment.page_ranges(start, end):
+            yield from node.protocol.ensure_valid(page, for_write=True)
+            copy = node.pagetable.get(page)
+            copy.values[lo:hi] = values[cursor:cursor + (hi - lo)]
+            node.protocol.record_write(page, lo, hi)
+            cursor += hi - lo
+
+    def read(self, segment: Segment, index: int) -> Generator:
+        """Read a single word."""
+        value = yield from self.read_region(segment, index, index + 1)
+        return float(value[0])
+
+    def write(self, segment: Segment, index: int,
+              value: float) -> Generator:
+        """Write a single word."""
+        yield from self.write_region(segment, index, index + 1,
+                                     np.array([value]))
+
+    def touch(self, segment: Segment, start: int,
+              end: int) -> Generator:
+        """Fault pages covering [start, end) in without reading data
+        (used to model read-mostly scans cheaply)."""
+        node = self._node
+        for page, _lo, _hi in segment.page_ranges(start, end):
+            yield from node.protocol.ensure_valid(page, for_write=False)
+
+    # -- synchronization ------------------------------------------------------
+
+    def acquire(self, lock_id: int) -> Generator:
+        node = self._node
+        started = node.sim.now
+        yield from node.lock_manager.acquire(lock_id)
+        node.metrics.lock_wait_cycles += node.sim.now - started
+
+    def release(self, lock_id: int) -> Generator:
+        yield from self._node.lock_manager.release(lock_id)
+
+    def barrier(self, barrier_id: int) -> Generator:
+        yield from self._node.barrier_manager.barrier(barrier_id)
+
+    # -- computation --------------------------------------------------------------
+
+    def compute(self, cycles: float) -> Generator:
+        """Charge local computation time (slowed by message handling)."""
+        yield from self._node.compute(cycles)
+
+    @property
+    def now(self) -> float:
+        return self._node.sim.now

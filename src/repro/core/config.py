@@ -1,0 +1,158 @@
+"""Architectural and cost-model configuration.
+
+All simulated time is measured in *processor cycles* of the configured
+CPU.  Network characteristics are specified in physical units
+(bits/second, microseconds) and converted to cycles through the machine's
+clock, so a processor-speed sweep (paper Table 4) automatically changes
+the compute/communication ratio without touching the network model.
+
+Every constant reconstructed from the OCR-damaged paper text is defined
+here, once, with the reconstruction noted (see DESIGN.md section 2.2).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+# --- Paper defaults (reconstructed where the OCR dropped digits) -------
+
+DEFAULT_CPU_MHZ = 40.0  # "4MHz RISC processors" -> 40 MHz (1993 era)
+DEFAULT_PAGE_SIZE = 4096  # "496 byte pages" -> 4096
+SMALL_PAGE_SIZE = 1024  # Table 5: "page size of 124 bytes" -> 1024
+WORD_SIZE = 4  # 32-bit words
+DEFAULT_MEMORY_LATENCY = 12  # cycles, as printed
+
+ETHERNET_MBPS = 10.0  # "1-megabit Ethernet" -> 10 Mbit/s
+ATM_MBPS = 100.0  # "1 MBit/sec cross-bar switch" -> 100 Mbit/s
+GIGABIT_MBPS = 1000.0  # Table 2's "GBit ATM"
+
+# Software overhead: "(1 + message length 1.5/4) processor cycles" at
+# both ends of every message -> fixed ~1000 cycles (Peregrine-class RPC
+# dispatch) plus 1.5 cycles per 4 bytes.
+OVERHEAD_FIXED_CYCLES = 1000.0
+OVERHEAD_PER_BYTE_CYCLES = 1.5 / 4.0
+# "The lazy implementation's extra complexity is modeled by doubling the
+# per-byte message overhead both at the sender and at the receiver."
+LAZY_PER_BYTE_FACTOR = 2.0
+
+DIFF_CYCLES_PER_WORD = 4.0  # "four cycles per word per page"
+
+# Fixed protocol header per message.  The paper counts only shared data
+# in message *lengths*; the header stands in for the minimum wire cost of
+# a small control message.
+MESSAGE_HEADER_BYTES = 64
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Physical network description.
+
+    ``kind`` selects the contention model:
+
+    - ``"ethernet"``: shared broadcast medium; at most one message in
+      flight machine-wide, with optional collision/backoff penalties.
+    - ``"atm"``: crossbar switch; a message occupies its source output
+      port and destination input port, so disjoint pairs communicate
+      concurrently.
+    - ``"ideal"``: zero contention, zero wire time (unit tests).
+    """
+
+    kind: str = "atm"
+    bandwidth_mbps: float = ATM_MBPS
+    latency_us: float = 10.0
+    collisions: bool = False
+    backoff_slot_us: float = 51.2  # classic Ethernet slot time
+
+    @property
+    def bandwidth_bps(self) -> float:
+        return self.bandwidth_mbps * 1e6
+
+    @staticmethod
+    def ethernet(collisions: bool = True,
+                 bandwidth_mbps: float = ETHERNET_MBPS) -> "NetworkConfig":
+        return NetworkConfig(kind="ethernet", bandwidth_mbps=bandwidth_mbps,
+                             latency_us=5.0, collisions=collisions)
+
+    @staticmethod
+    def atm(bandwidth_mbps: float = ATM_MBPS) -> "NetworkConfig":
+        return NetworkConfig(kind="atm", bandwidth_mbps=bandwidth_mbps,
+                             latency_us=10.0)
+
+    @staticmethod
+    def ideal() -> "NetworkConfig":
+        return NetworkConfig(kind="ideal", bandwidth_mbps=1e9,
+                             latency_us=0.0)
+
+
+@dataclass(frozen=True)
+class OverheadConfig:
+    """Per-message software cost model (paper section 5.3).
+
+    ``scale`` implements Table 3's zero / normal / double sweep.
+    """
+
+    fixed_cycles: float = OVERHEAD_FIXED_CYCLES
+    per_byte_cycles: float = OVERHEAD_PER_BYTE_CYCLES
+    lazy_per_byte_factor: float = LAZY_PER_BYTE_FACTOR
+    diff_cycles_per_word: float = DIFF_CYCLES_PER_WORD
+    scale: float = 1.0
+
+    def message_cycles(self, size_bytes: int, lazy: bool) -> float:
+        """Software cost, in cycles, paid at *each* end of a message."""
+        per_byte = self.per_byte_cycles
+        if lazy:
+            per_byte *= self.lazy_per_byte_factor
+        return self.scale * (self.fixed_cycles + size_bytes * per_byte)
+
+    def diff_cycles(self, words_per_page: int) -> float:
+        """Cost of creating one diff ("per word per page")."""
+        return self.scale * self.diff_cycles_per_word * words_per_page
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """A cluster of identical nodes joined by one network."""
+
+    nprocs: int = 16
+    cpu_mhz: float = DEFAULT_CPU_MHZ
+    page_size: int = DEFAULT_PAGE_SIZE
+    word_size: int = WORD_SIZE
+    memory_latency_cycles: int = DEFAULT_MEMORY_LATENCY
+    network: NetworkConfig = field(default_factory=NetworkConfig.atm)
+    overhead: OverheadConfig = field(default_factory=OverheadConfig)
+    seed: int = 1993
+    # Garbage-collect consistency metadata (interval records, stored
+    # diffs) every N global barrier episodes; 0 disables.  GC first
+    # validates every cached page, so it trades messages for memory —
+    # exactly the TreadMarks tradeoff.
+    gc_barrier_interval: int = 0
+
+    def __post_init__(self) -> None:
+        if self.nprocs < 1:
+            raise ValueError("nprocs must be >= 1")
+        if self.page_size % self.word_size:
+            raise ValueError("page_size must be a multiple of word_size")
+
+    @property
+    def words_per_page(self) -> int:
+        return self.page_size // self.word_size
+
+    @property
+    def cycles_per_second(self) -> float:
+        return self.cpu_mhz * 1e6
+
+    def seconds_to_cycles(self, seconds: float) -> float:
+        return seconds * self.cycles_per_second
+
+    def us_to_cycles(self, microseconds: float) -> float:
+        return microseconds * 1e-6 * self.cycles_per_second
+
+    def wire_cycles(self, size_bytes: int) -> float:
+        """Transmission (serialization) time for a message, in cycles."""
+        seconds = size_bytes * 8.0 / self.network.bandwidth_bps
+        return self.seconds_to_cycles(seconds)
+
+    def replace(self, **kwargs) -> "MachineConfig":
+        """Return a copy with the given fields replaced."""
+        return dataclasses.replace(self, **kwargs)

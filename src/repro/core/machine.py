@@ -1,0 +1,220 @@
+"""The simulated DSM machine: nodes + network + shared address space."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import MachineConfig
+from repro.core.metrics import NodeMetrics, RunResult
+from repro.core.node import Node
+from repro.mem.addressing import AddressSpace, Segment
+from repro.net import build_network
+from repro.net.message import Message
+from repro.sim.engine import SimulationError, Simulator
+
+
+class Machine:
+    """A cluster of ``nprocs`` nodes running one DSM protocol.
+
+    Typical use (the :mod:`repro.core.runner` helpers wrap this):
+
+    >>> machine = Machine(MachineConfig(nprocs=4), protocol="lh")
+    >>> seg = machine.allocate("data", nwords=1024)
+    >>> machine.run(worker_factory)   # doctest: +SKIP
+    """
+
+    def __init__(self, config: MachineConfig, protocol: str = "lh",
+                 protocol_options: Optional[dict] = None,
+                 lock_broadcast: bool = False) -> None:
+        from repro.protocols.registry import create_protocol
+        from repro.sync.barriers import BarrierManager
+        from repro.sync.locks import LockManager
+
+        self.config = config
+        self.protocol_name = protocol
+        self.lock_broadcast = lock_broadcast
+        self.sim = Simulator()
+        self.network = build_network(self.sim, config)
+        self.network.attach(self._deliver)
+        self.address_space = AddressSpace(config.words_per_page)
+        self._page_owner_override: Dict[int, int] = {}
+
+        self.nodes: List[Node] = [Node(self, p)
+                                  for p in range(config.nprocs)]
+        for node in self.nodes:
+            node.protocol = create_protocol(protocol, node,
+                                            protocol_options)
+            node.lock_manager = LockManager(node,
+                                            broadcast=lock_broadcast)
+            node.barrier_manager = BarrierManager(node)
+
+        self._finished: List[Optional[float]] = [None] * config.nprocs
+        self._app_results: List[object] = [None] * config.nprocs
+
+    # -- address space ------------------------------------------------------
+
+    def allocate(self, name: str, nwords: int,
+                 init: Optional[np.ndarray] = None,
+                 owner: str = "striped") -> Segment:
+        """Allocate a shared segment and install its pages at their
+        statically-assigned owners (cost-free initialization, standing
+        in for the program's pre-parallel setup phase).
+
+        ``owner`` is ``"striped"`` (pages round-robin across nodes),
+        ``"block"`` (contiguous chunks), or an integer processor id.
+        """
+        segment = self.address_space.allocate(name, nwords)
+        pages = list(segment.pages)
+        if owner == "striped":
+            assignment = {page: page % self.config.nprocs
+                          for page in pages}
+        elif owner == "block":
+            per_node = -(-len(pages) // self.config.nprocs)
+            assignment = {page: min(i // per_node,
+                                    self.config.nprocs - 1)
+                          for i, page in enumerate(pages)}
+        elif isinstance(owner, int):
+            if not 0 <= owner < self.config.nprocs:
+                raise ValueError(f"owner {owner} out of range")
+            assignment = {page: owner for page in pages}
+        else:
+            raise ValueError(f"bad owner spec: {owner!r}")
+        self._page_owner_override.update(assignment)
+
+        words_per_page = self.config.words_per_page
+        if init is not None:
+            init = np.asarray(init, dtype=np.float64)
+            if len(init) != nwords:
+                raise ValueError("init length must equal nwords")
+        for page in pages:
+            owner_node = self.nodes[assignment[page]]
+            copy = owner_node.pagetable.install(page, valid=True)
+            if init is not None:
+                start = page * words_per_page - segment.base_word
+                chunk = init[max(start, 0):start + words_per_page]
+                copy.values[:len(chunk)] = chunk
+            # Every node's copyset for a page always contains the owner
+            # (the owner doubles as the page's directory).
+            for node in self.nodes:
+                node.copysets.add(page, assignment[page])
+        return segment
+
+    def page_owner(self, page: int) -> int:
+        try:
+            return self._page_owner_override[page]
+        except KeyError:
+            raise SimulationError(f"page {page} was never allocated")
+
+    # -- locks / barriers -----------------------------------------------------
+
+    def lock_owner(self, lock_id: int) -> int:
+        return lock_id % self.config.nprocs
+
+    def bind_lock(self, lock_id: int, segment: Segment,
+                  start: Optional[int] = None,
+                  end: Optional[int] = None) -> None:
+        """Entry-consistency annotation (Midway-style): declare that
+        ``segment[start:end)`` is the shared data guarded by
+        ``lock_id``.  The 'ec' protocol moves exactly the bound pages'
+        modifications with the lock grant; other protocols ignore
+        bindings."""
+        if not hasattr(self, "lock_bindings"):
+            self.lock_bindings: Dict[int, set] = {}
+        start = 0 if start is None else start
+        end = segment.nwords if end is None else end
+        pages = {page for page, _lo, _hi
+                 in segment.page_ranges(start, end)}
+        self.lock_bindings.setdefault(lock_id, set()).update(pages)
+
+    def pages_bound_to(self, lock_id: int) -> frozenset:
+        bindings = getattr(self, "lock_bindings", {})
+        return frozenset(bindings.get(lock_id, ()))
+
+    def barrier_master(self, barrier_id: int) -> int:
+        return barrier_id % self.config.nprocs
+
+    # -- message delivery ------------------------------------------------------
+
+    def _deliver(self, message: Message) -> None:
+        self.nodes[message.dst].deliver(message)
+
+    # -- execution ---------------------------------------------------------------
+
+    def run(self, worker_factory: Callable[..., Generator],
+            max_events: Optional[int] = None,
+            app: str = "app",
+            threads_per_proc: int = 1) -> RunResult:
+        """Run one application: ``worker_factory(proc)`` must return
+        the generator to execute on each node.  With
+        ``threads_per_proc > 1`` (the paper's multithreading
+        extension), the factory is called as ``worker_factory(proc,
+        thread)`` and each node runs that many threads, serializing
+        computation but overlapping communication stalls.  Returns the
+        aggregated :class:`RunResult` (``app_result`` is indexed
+        ``proc * threads + thread``)."""
+        if threads_per_proc < 1:
+            raise ValueError("threads_per_proc must be >= 1")
+        nworkers = self.config.nprocs * threads_per_proc
+        self._finished = [None] * nworkers
+        self._app_results = [None] * nworkers
+        if threads_per_proc > 1:
+            for node in self.nodes:
+                node.enable_multithreading()
+            workers = [(proc, thread)
+                       for proc in range(self.config.nprocs)
+                       for thread in range(threads_per_proc)]
+            for proc, thread in workers:
+                generator = worker_factory(proc, thread)
+                self.sim.spawn(
+                    self._wrap_worker(proc * threads_per_proc + thread,
+                                      generator),
+                    name=f"worker-{proc}.{thread}")
+        else:
+            for proc in range(self.config.nprocs):
+                self.sim.spawn(
+                    self._wrap_worker(proc, worker_factory(proc)),
+                    name=f"worker-{proc}")
+        self.sim.run_all(stop=self._all_finished, max_events=max_events)
+        if not self._all_finished():
+            unfinished = [i for i, t in enumerate(self._finished)
+                          if t is None]
+            raise SimulationError(
+                f"workers {unfinished} did not finish "
+                "(deadlock or event budget exceeded)")
+        elapsed = max(t for t in self._finished if t is not None)
+        for proc, node in enumerate(self.nodes):
+            node.metrics.finish_time = max(
+                self._finished[proc * threads_per_proc + thread]
+                for thread in range(threads_per_proc))
+        return RunResult(
+            app=app,
+            protocol=self.protocol_name,
+            nprocs=self.config.nprocs,
+            elapsed_cycles=elapsed,
+            node_metrics=[node.metrics for node in self.nodes],
+            network_messages=self.network.stats.messages,
+            network_bytes=self.network.stats.bytes_sent,
+            network_contention_cycles=(
+                self.network.stats.contention_cycles),
+            app_result=list(self._app_results),
+        )
+
+    def _wrap_worker(self, proc: int,
+                     worker: Generator) -> Generator:
+        result = yield from worker
+        self._finished[proc] = self.sim.now
+        self._app_results[proc] = result
+
+    def _all_finished(self) -> bool:
+        return all(t is not None for t in self._finished)
+
+    # -- debugging helpers ---------------------------------------------------------
+
+    def page_values(self, page: int, proc: int) -> np.ndarray:
+        """A node's current view of a page (tests only)."""
+        copy = self.nodes[proc].pagetable.get(page)
+        if copy is None:
+            raise KeyError(f"node {proc} has no copy of page {page}")
+        return copy.values

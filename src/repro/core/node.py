@@ -1,0 +1,231 @@
+"""A simulated processor node.
+
+A node owns the per-processor DSM state (page table, copysets, interval
+log, diff store, vector clock), a CPU cost model, and the message
+plumbing between the application process, the protocol handlers, and
+the network.
+
+CPU model
+---------
+Application code and incoming-message handlers share one processor.
+Handlers behave like interrupts: they serialize among themselves
+(``_handler_busy_until``) and their cycles are *stolen* from any
+application computation in progress (``compute`` re-checks the stolen
+cycle count until it has paid for interrupts that landed inside its
+window).  This reproduces the paper's observation that per-message
+software overhead directly slows the application down.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generator, Optional
+
+from repro.core.config import MachineConfig
+from repro.core.metrics import NodeMetrics
+from repro.mem.copyset import CopysetTable
+from repro.mem.intervals import DiffStore, IntervalLog
+from repro.mem.pages import PageTable
+from repro.mem.timestamps import VectorClock
+from repro.net.message import Message, MsgKind
+from repro.sim.engine import SimulationError, Simulator
+from repro.sim.events import Event
+
+
+class Node:
+    """One processor of the simulated DSM machine."""
+
+    def __init__(self, machine, proc: int) -> None:
+        self.machine = machine
+        self.proc = proc
+        self.sim: Simulator = machine.sim
+        self.config: MachineConfig = machine.config
+        self.metrics = NodeMetrics(proc=proc)
+
+        # DSM state.
+        self.pagetable = PageTable(self.config.words_per_page)
+        self.copysets = CopysetTable(proc)
+        self.interval_log = IntervalLog()
+        self.diff_store = DiffStore()
+        self.vc = VectorClock.zero(self.config.nprocs)
+        # Best known vector clock of every peer (for push filtering).
+        self.peer_vc: Dict[int, VectorClock] = {
+            p: VectorClock.zero(self.config.nprocs)
+            for p in range(self.config.nprocs)}
+
+        # CPU/interrupt model.
+        self._handler_busy_until = 0.0
+        self._interrupt_cycles = 0.0
+        # Multithreading (the paper's future-work extension): several
+        # application threads share this node; computation serializes
+        # on the CPU while blocked threads overlap their communication.
+        self.multithreaded = False
+        self.cpu_resource = None
+
+        # Request/reply correlation.
+        self._pending_replies: Dict[int, Event] = {}
+
+        # Filled in by the machine.
+        self.protocol = None
+        self.lock_manager = None
+        self.barrier_manager = None
+
+    # -- identity helpers -------------------------------------------------
+
+    def page_owner(self, page: int) -> int:
+        return self.machine.page_owner(page)
+
+    def is_page_owner(self, page: int) -> bool:
+        return self.page_owner(page) == self.proc
+
+    def observe_peer_vc(self, proc: int, vc: VectorClock) -> None:
+        """Remember the freshest vector clock seen from ``proc``."""
+        if proc != self.proc:
+            self.peer_vc[proc] = self.peer_vc[proc].merged(vc)
+
+    def memory_footprint(self) -> Dict[str, int]:
+        """Consistency-metadata sizes (what barrier GC reclaims)."""
+        orphans = getattr(self.protocol, "orphan_notices", {})
+        return {
+            "interval_records": len(self.interval_log),
+            "stored_diffs": len(self.diff_store),
+            "orphan_notices": sum(len(v) for v in orphans.values()),
+            "page_copies": len(self.pagetable),
+        }
+
+    # -- CPU model ---------------------------------------------------------
+
+    def enable_multithreading(self) -> None:
+        from repro.sim.resources import Resource
+        self.multithreaded = True
+        if self.cpu_resource is None:
+            self.cpu_resource = Resource(self.sim, capacity=1,
+                                         name=f"cpu-{self.proc}")
+
+    def compute(self, cycles: float) -> Generator:
+        """Application-context computation of ``cycles`` cycles, slowed
+        down by any interrupt (handler) cycles that land inside it.
+        On a multithreaded node, threads serialize on the CPU."""
+        if cycles < 0:
+            raise ValueError(f"negative compute: {cycles}")
+        self.metrics.compute_cycles += cycles
+        if cycles == 0:
+            return
+        if self.multithreaded:
+            yield self.cpu_resource.request()
+        try:
+            stolen_before = self._interrupt_cycles
+            yield self.sim.timeout(cycles)
+            paid = 0.0
+            while True:
+                stolen = self._interrupt_cycles - stolen_before
+                if stolen <= paid:
+                    break
+                extra = stolen - paid
+                paid = stolen
+                yield self.sim.timeout(extra)
+        finally:
+            if self.multithreaded:
+                self.cpu_resource.release()
+
+    def app_charge(self, cycles: float) -> Generator:
+        """Application-context protocol work (overhead, diff creation).
+        Counted as overhead, not computation."""
+        if cycles > 0:
+            self.metrics.overhead_cycles += cycles
+            yield self.sim.timeout(cycles)
+
+    def handler_charge(self, cycles: float) -> float:
+        """Occupy the handler (interrupt) context for ``cycles``;
+        returns the completion time."""
+        start = max(self.sim.now, self._handler_busy_until)
+        end = start + cycles
+        self._handler_busy_until = end
+        self._interrupt_cycles += cycles
+        self.metrics.overhead_cycles += cycles
+        return end
+
+    # -- message costs -----------------------------------------------------
+
+    def _message_overhead(self, message: Message) -> float:
+        return self.config.overhead.message_cycles(message.size_bytes,
+                                                   message.lazy)
+
+    def diff_creation_cost(self) -> float:
+        return self.config.overhead.diff_cycles(self.config.words_per_page)
+
+    # -- sending -----------------------------------------------------------
+
+    def app_send(self, message: Message) -> Generator:
+        """Send from application context: the sender pays its software
+        overhead inline, then hands the message to the network."""
+        self._stamp(message)
+        self.metrics.record_send(message)
+        yield from self.app_charge(self._message_overhead(message))
+        self.machine.network.transmit(message)
+
+    def handler_send(self, message: Message) -> float:
+        """Send from handler (interrupt) context: overhead extends the
+        handler-busy window and transmission starts when it ends."""
+        self._stamp(message)
+        self.metrics.record_send(message)
+        ready = self.handler_charge(self._message_overhead(message))
+        self.sim.schedule(ready - self.sim.now,
+                          self.machine.network.transmit, message)
+        return ready
+
+    def _stamp(self, message: Message) -> None:
+        if message.src != self.proc:
+            raise SimulationError(
+                f"node {self.proc} sending message with src={message.src}")
+        message.lazy = self.protocol.is_lazy if self.protocol else False
+
+    # -- request/reply correlation ------------------------------------------
+
+    def expect_reply(self, request: Message) -> Event:
+        """Register interest in a reply correlated to ``request``."""
+        event = self.sim.event(f"reply-to-{request.msg_id}")
+        self._pending_replies[request.msg_id] = event
+        return event
+
+    def request_from_app(self, message: Message) -> Generator:
+        """Send a request and wait for its reply; returns the reply."""
+        reply_event = self.expect_reply(message)
+        yield from self.app_send(message)
+        reply = yield reply_event
+        return reply
+
+    def _resolve_reply(self, message: Message) -> bool:
+        if message.reply_to is None:
+            return False
+        event = self._pending_replies.pop(message.reply_to, None)
+        if event is None:
+            raise SimulationError(
+                f"unexpected reply {message} (no pending request)")
+        event.succeed(message)
+        return True
+
+    # -- receiving -----------------------------------------------------------
+
+    def deliver(self, message: Message) -> None:
+        """Called by the machine when the network delivers a message.
+        Charges receive overhead in handler context, then dispatches."""
+        if message.dst != self.proc:
+            raise SimulationError(
+                f"node {self.proc} received message for {message.dst}")
+        done = self.handler_charge(self._message_overhead(message))
+        self.sim.schedule(done - self.sim.now, self._dispatch, message)
+
+    def _dispatch(self, message: Message) -> None:
+        if self._resolve_reply(message):
+            return
+        kind = message.kind
+        if kind in (MsgKind.LOCK_REQ, MsgKind.LOCK_FWD,
+                    MsgKind.LOCK_GRANT):
+            self.lock_manager.handle(message)
+        elif kind in (MsgKind.BARRIER_ARRIVE, MsgKind.BARRIER_DEPART):
+            self.barrier_manager.handle(message)
+        else:
+            self.protocol.handle(message)
+
+    def __repr__(self) -> str:
+        return f"<Node {self.proc}>"

@@ -1,0 +1,71 @@
+"""High-level runners: build a machine, run an application, compare.
+
+The application contract (see :mod:`repro.apps.base`) is:
+
+- ``app.setup(machine)`` allocates shared segments and returns an
+  opaque shared-description object;
+- ``app.worker(api, proc, shared)`` returns the generator each node
+  runs;
+- ``app.name`` labels results.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.api import DsmApi
+from repro.core.config import MachineConfig
+from repro.core.machine import Machine
+from repro.core.metrics import RunResult
+
+
+def run_app(app, config: MachineConfig, protocol: str = "lh",
+            max_events: Optional[int] = None,
+            protocol_options: Optional[dict] = None,
+            lock_broadcast: bool = False) -> RunResult:
+    """Simulate ``app`` on a machine described by ``config``."""
+    machine = Machine(config, protocol=protocol,
+                      protocol_options=protocol_options,
+                      lock_broadcast=lock_broadcast)
+    shared = app.setup(machine)
+
+    def factory(proc: int):
+        return app.worker(DsmApi(machine.nodes[proc]), proc, shared)
+
+    result = machine.run(factory, max_events=max_events, app=app.name)
+    app.finish(machine, shared, result)
+    return result
+
+
+def run_protocols(app_factory, config: MachineConfig,
+                  protocols: Iterable[str],
+                  max_events: Optional[int] = None
+                  ) -> Dict[str, RunResult]:
+    """Run a fresh instance of the app under each protocol."""
+    return {name: run_app(app_factory(), config, protocol=name,
+                          max_events=max_events)
+            for name in protocols}
+
+
+def sequential_baseline(app_factory, config: MachineConfig,
+                        max_events: Optional[int] = None) -> RunResult:
+    """The one-processor run used as the speedup denominator."""
+    solo = config.replace(nprocs=1)
+    return run_app(app_factory(), solo, protocol="lh",
+                   max_events=max_events)
+
+
+def speedup_curve(app_factory, config: MachineConfig, protocol: str,
+                  proc_counts: List[int],
+                  baseline: Optional[RunResult] = None
+                  ) -> Dict[int, float]:
+    """Speedups over the sequential run for each processor count."""
+    if baseline is None:
+        baseline = sequential_baseline(app_factory, config)
+    curve = {}
+    for nprocs in proc_counts:
+        result = run_app(app_factory(),
+                         config.replace(nprocs=nprocs),
+                         protocol=protocol)
+        curve[nprocs] = result.speedup_over(baseline)
+    return curve

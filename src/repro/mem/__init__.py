@@ -1,0 +1,15 @@
+"""Memory substrate: pages, diffs, timestamps, intervals, copysets."""
+
+from repro.mem.addressing import AddressSpace, Segment
+from repro.mem.copyset import CopysetTable
+from repro.mem.diffs import Diff, normalize_ranges, ranges_word_count
+from repro.mem.intervals import (DiffStore, IntervalLog, IntervalRecord,
+                                 WriteNotice)
+from repro.mem.pages import PageCopy, PageTable
+from repro.mem.timestamps import VectorClock
+
+__all__ = [
+    "AddressSpace", "CopysetTable", "Diff", "DiffStore", "IntervalLog",
+    "IntervalRecord", "PageCopy", "PageTable", "Segment", "VectorClock",
+    "WriteNotice", "normalize_ranges", "ranges_word_count",
+]

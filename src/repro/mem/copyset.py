@@ -1,0 +1,45 @@
+"""Approximate per-page copysets.
+
+Each node keeps, for every page, the set of processors it *believes*
+cache the page.  The paper stresses that copysets are approximate: they
+are seeded from the owner on page transfer and refreshed by write
+notices and diff requests; the eager protocols compensate with extra
+flush rounds, and the hybrid uses them as a heuristic for which diffs to
+piggyback on lock grants.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Set
+
+
+class CopysetTable:
+    """One node's view of who caches each page."""
+
+    def __init__(self, self_proc: int) -> None:
+        self.self_proc = self_proc
+        self._copysets: Dict[int, Set[int]] = {}
+
+    def get(self, page: int) -> FrozenSet[int]:
+        return frozenset(self._copysets.get(page, ()))
+
+    def others(self, page: int) -> FrozenSet[int]:
+        return frozenset(p for p in self._copysets.get(page, ())
+                         if p != self.self_proc)
+
+    def add(self, page: int, proc: int) -> None:
+        self._copysets.setdefault(page, set()).add(proc)
+
+    def add_many(self, page: int, procs: Iterable[int]) -> None:
+        self._copysets.setdefault(page, set()).update(procs)
+
+    def remove(self, page: int, proc: int) -> None:
+        copyset = self._copysets.get(page)
+        if copyset is not None:
+            copyset.discard(proc)
+
+    def replace(self, page: int, procs: Iterable[int]) -> None:
+        self._copysets[page] = set(procs)
+
+    def believes_cached(self, page: int, proc: int) -> bool:
+        return proc in self._copysets.get(page, ())

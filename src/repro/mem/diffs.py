@@ -1,0 +1,98 @@
+"""Run-length encoded page diffs.
+
+A diff captures the words of one page modified during one interval, as
+runs of (start word, values).  Sending diffs instead of pages is what
+lets the multiple-writer protocols merge concurrent modifications of a
+falsely-shared page.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+RUN_HEADER_BYTES = 8  # per-run (offset, length) encoding cost
+
+
+def normalize_ranges(ranges: Iterable[Tuple[int, int]]
+                     ) -> List[Tuple[int, int]]:
+    """Merge overlapping/adjacent half-open word ranges, sorted."""
+    items = sorted((int(a), int(b)) for a, b in ranges if b > a)
+    merged: List[Tuple[int, int]] = []
+    for start, end in items:
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def ranges_word_count(ranges: Sequence[Tuple[int, int]]) -> int:
+    return sum(end - start for start, end in ranges)
+
+
+class Diff:
+    """Modified words of a single page, as run-length runs."""
+
+    __slots__ = ("page", "runs", "word_size")
+
+    def __init__(self, page: int,
+                 runs: Sequence[Tuple[int, np.ndarray]],
+                 word_size: int = 4) -> None:
+        self.page = page
+        self.runs: List[Tuple[int, np.ndarray]] = [
+            (int(start), np.asarray(values, dtype=np.float64))
+            for start, values in runs]
+        self.word_size = word_size
+
+    @staticmethod
+    def from_ranges(page: int, values: np.ndarray,
+                    ranges: Iterable[Tuple[int, int]],
+                    word_size: int = 4) -> "Diff":
+        """Snapshot ``values`` over the given word ranges."""
+        runs = [(start, values[start:end].copy())
+                for start, end in normalize_ranges(ranges)]
+        return Diff(page, runs, word_size=word_size)
+
+    @property
+    def word_count(self) -> int:
+        return sum(len(values) for _start, values in self.runs)
+
+    @property
+    def size_bytes(self) -> int:
+        """Encoded size: per-run header plus the run payloads."""
+        return sum(RUN_HEADER_BYTES + len(values) * self.word_size
+                   for _start, values in self.runs)
+
+    def ranges(self) -> List[Tuple[int, int]]:
+        return [(start, start + len(values))
+                for start, values in self.runs]
+
+    def apply(self, target: np.ndarray) -> None:
+        """Write the diff's words into ``target`` in place."""
+        for start, values in self.runs:
+            if start + len(values) > len(target):
+                raise ValueError(
+                    f"diff run [{start},{start + len(values)}) exceeds "
+                    f"page of {len(target)} words")
+            target[start:start + len(values)] = values
+
+    def overlaps(self, other: "Diff") -> bool:
+        mine = normalize_ranges(self.ranges())
+        theirs = normalize_ranges(other.ranges())
+        i = j = 0
+        while i < len(mine) and j < len(theirs):
+            a_start, a_end = mine[i]
+            b_start, b_end = theirs[j]
+            if a_start < b_end and b_start < a_end:
+                return True
+            if a_end <= b_end:
+                i += 1
+            else:
+                j += 1
+        return False
+
+    def __repr__(self) -> str:
+        return (f"<Diff page={self.page} runs={len(self.runs)} "
+                f"words={self.word_count}>")

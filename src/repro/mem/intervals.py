@@ -1,0 +1,136 @@
+"""Intervals, write notices, and the per-machine diff store.
+
+Execution on each processor is divided into *intervals*, delimited by
+synchronization events.  A :class:`WriteNotice` announces that a page
+was modified during a given interval; the notice carries the interval's
+vector time so receivers can order it under happened-before-1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.mem.diffs import Diff
+from repro.mem.timestamps import VectorClock
+
+IntervalId = Tuple[int, int]  # (proc, interval index)
+
+
+@dataclass(frozen=True)
+class WriteNotice:
+    """'Processor ``proc``, in interval ``index``, modified ``page``.'"""
+
+    page: int
+    proc: int
+    index: int
+    vc: VectorClock
+
+    @property
+    def interval_id(self) -> IntervalId:
+        return (self.proc, self.index)
+
+
+@dataclass
+class IntervalRecord:
+    """One sealed interval: which pages it wrote and its vector time.
+
+    ``pending_ranges`` holds the written word ranges per page until the
+    diff is actually created (lazy diff creation).
+    """
+
+    proc: int
+    index: int
+    vc: VectorClock
+    pages: FrozenSet[int]
+    pending_ranges: Dict[int, List[Tuple[int, int]]] = field(
+        default_factory=dict)
+
+    @property
+    def interval_id(self) -> IntervalId:
+        return (self.proc, self.index)
+
+    def notices(self) -> List[WriteNotice]:
+        return [WriteNotice(page=page, proc=self.proc, index=self.index,
+                            vc=self.vc)
+                for page in sorted(self.pages)]
+
+
+class IntervalLog:
+    """A node's knowledge of intervals (its own and received ones)."""
+
+    def __init__(self) -> None:
+        self._records: Dict[IntervalId, IntervalRecord] = {}
+
+    def add(self, record: IntervalRecord) -> None:
+        self._records.setdefault(record.interval_id, record)
+
+    def get(self, interval_id: IntervalId) -> Optional[IntervalRecord]:
+        return self._records.get(interval_id)
+
+    def __contains__(self, interval_id: IntervalId) -> bool:
+        return interval_id in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def records_after(self, vc: VectorClock) -> List[IntervalRecord]:
+        """Intervals (q, i) known here with i > vc[q]: exactly the write
+        notices a releaser must ship to an acquirer whose clock is
+        ``vc``."""
+        found = [record for record in self._records.values()
+                 if record.index > vc[record.proc]]
+        found.sort(key=lambda r: (r.vc.total(), r.proc, r.index))
+        return found
+
+    def all_records(self) -> List[IntervalRecord]:
+        return sorted(self._records.values(),
+                      key=lambda r: (r.vc.total(), r.proc, r.index))
+
+    def prune_dominated(self, vc: VectorClock) -> List[IntervalId]:
+        """Drop every record whose vector time is dominated by ``vc``
+        (globally-known history); returns the dropped ids."""
+        dropped = [iid for iid, record in self._records.items()
+                   if vc.dominates(record.vc)]
+        for iid in dropped:
+            del self._records[iid]
+        return dropped
+
+
+class DiffStore:
+    """Diffs retained by one node, keyed by (proc, interval, page).
+
+    A node stores every diff it creates and every diff it receives; the
+    lazy protocols exploit this to fetch, from each concurrent last
+    modifier, all diffs that precede that modifier's write (paper
+    section 4.2.1/4.2.3).
+    """
+
+    def __init__(self) -> None:
+        self._diffs: Dict[Tuple[int, int, int], Diff] = {}
+
+    @staticmethod
+    def key(proc: int, index: int, page: int) -> Tuple[int, int, int]:
+        return (proc, index, page)
+
+    def put(self, proc: int, index: int, diff: Diff) -> None:
+        self._diffs.setdefault((proc, index, diff.page), diff)
+
+    def get(self, proc: int, index: int, page: int) -> Optional[Diff]:
+        return self._diffs.get((proc, index, page))
+
+    def has(self, proc: int, index: int, page: int) -> bool:
+        return (proc, index, page) in self._diffs
+
+    def __len__(self) -> int:
+        return len(self._diffs)
+
+    def prune_intervals(self, interval_ids) -> int:
+        """Drop every stored diff belonging to the given intervals;
+        returns how many were removed."""
+        doomed_ids = set(interval_ids)
+        doomed = [key for key in self._diffs
+                  if (key[0], key[1]) in doomed_ids]
+        for key in doomed:
+            del self._diffs[key]
+        return len(doomed)

@@ -1,0 +1,146 @@
+"""Per-node page copies.
+
+Each node holds, for every shared page it caches, a :class:`PageCopy`
+with real word values (so applications compute on genuine data through
+the DSM), the word ranges written in the current interval, and the set
+of write notices received but not yet reflected in the copy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.mem.diffs import normalize_ranges
+from repro.mem.intervals import WriteNotice
+from repro.mem.timestamps import VectorClock
+
+
+class PageCopy:
+    """One node's copy of one shared page."""
+
+    __slots__ = ("page", "words", "values", "valid", "written",
+                 "pending_notices", "vc", "applied")
+
+    def __init__(self, page: int, words: int,
+                 values: Optional[np.ndarray] = None,
+                 valid: bool = True,
+                 vc: Optional[VectorClock] = None) -> None:
+        self.page = page
+        self.words = words
+        if values is None:
+            self.values = np.zeros(words, dtype=np.float64)
+        else:
+            if len(values) != words:
+                raise ValueError("page value size mismatch")
+            self.values = np.array(values, dtype=np.float64)
+        self.valid = valid
+        # Word ranges written during the current (unsealed) interval.
+        self.written: List[Tuple[int, int]] = []
+        # Write notices received whose modifications are not yet applied.
+        self.pending_notices: List[WriteNotice] = []
+        self.vc = vc
+        # Highest interval index per processor whose modification of this
+        # page is reflected in ``values`` (coverage map).
+        self.applied: Dict[int, int] = {}
+
+    @property
+    def dirty(self) -> bool:
+        return bool(self.written)
+
+    def record_write(self, start: int, end: int) -> None:
+        if start < 0 or end > self.words or start >= end:
+            raise ValueError(f"bad write range [{start},{end}) on page "
+                             f"of {self.words} words")
+        self.written.append((start, end))
+        if len(self.written) > 64:
+            self.written = normalize_ranges(self.written)
+
+    def take_written_ranges(self) -> List[Tuple[int, int]]:
+        """Return and clear the current interval's written ranges."""
+        ranges = normalize_ranges(self.written)
+        self.written = []
+        return ranges
+
+    def is_applied(self, proc: int, index: int) -> bool:
+        return self.applied.get(proc, 0) >= index
+
+    def mark_applied(self, proc: int, index: int) -> None:
+        if index > self.applied.get(proc, 0):
+            self.applied[proc] = index
+
+    def add_notice(self, notice: WriteNotice) -> bool:
+        """Record a foreign write notice; returns True if it was new.
+
+        Notices already reflected in the copy (per the ``applied``
+        coverage map) and duplicates are ignored.
+        """
+        if notice.proc < 0:
+            raise ValueError("invalid notice")
+        if self.is_applied(notice.proc, notice.index):
+            return False
+        for existing in self.pending_notices:
+            if existing.interval_id == notice.interval_id:
+                return False
+        self.pending_notices.append(notice)
+        return True
+
+    def clear_notices(self) -> List[WriteNotice]:
+        notices, self.pending_notices = self.pending_notices, []
+        return notices
+
+    def __repr__(self) -> str:
+        flags = "valid" if self.valid else "INVALID"
+        if self.dirty:
+            flags += ",dirty"
+        return f"<PageCopy page={self.page} {flags}>"
+
+
+class PageTable:
+    """All page copies held by one node."""
+
+    def __init__(self, words_per_page: int) -> None:
+        self.words_per_page = words_per_page
+        self._copies: Dict[int, PageCopy] = {}
+
+    def get(self, page: int) -> Optional[PageCopy]:
+        return self._copies.get(page)
+
+    def has_copy(self, page: int) -> bool:
+        return page in self._copies
+
+    def is_valid(self, page: int) -> bool:
+        copy = self._copies.get(page)
+        return copy is not None and copy.valid
+
+    def install(self, page: int, values: Optional[np.ndarray] = None,
+                valid: bool = True) -> PageCopy:
+        copy = self._copies.get(page)
+        if copy is None:
+            copy = PageCopy(page, self.words_per_page, values=values,
+                            valid=valid)
+            self._copies[page] = copy
+        else:
+            if values is not None:
+                copy.values[:] = values
+            copy.valid = valid
+        return copy
+
+    def invalidate(self, page: int) -> None:
+        copy = self._copies.get(page)
+        if copy is not None:
+            copy.valid = False
+
+    def drop(self, page: int) -> None:
+        self._copies.pop(page, None)
+
+    def pages(self) -> List[int]:
+        return sorted(self._copies)
+
+    def valid_pages(self) -> List[int]:
+        return sorted(page for page, copy in self._copies.items()
+                      if copy.valid)
+
+    def __len__(self) -> int:
+        return len(self._copies)

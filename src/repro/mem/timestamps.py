@@ -1,0 +1,76 @@
+"""Vector timestamps for the happened-before-1 partial order.
+
+Write notices are tagged with vector times (Keleher et al., ISCA 1992);
+dominance between vector times encodes whether one shared-memory
+modification precedes another under happened-before-1.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+
+class VectorClock:
+    """Immutable vector of per-processor interval indices."""
+
+    __slots__ = ("components",)
+
+    def __init__(self, components: Iterable[int]) -> None:
+        object.__setattr__(self, "components", tuple(int(c)
+                                                     for c in components))
+
+    @staticmethod
+    def zero(nprocs: int) -> "VectorClock":
+        return VectorClock((0,) * nprocs)
+
+    def __len__(self) -> int:
+        return len(self.components)
+
+    def __getitem__(self, proc: int) -> int:
+        return self.components[proc]
+
+    def __setattr__(self, name, value):  # pragma: no cover - guard
+        raise AttributeError("VectorClock is immutable")
+
+    def incremented(self, proc: int) -> "VectorClock":
+        parts = list(self.components)
+        parts[proc] += 1
+        return VectorClock(parts)
+
+    def merged(self, other: "VectorClock") -> "VectorClock":
+        self._check(other)
+        return VectorClock(max(a, b) for a, b in
+                           zip(self.components, other.components))
+
+    def dominates(self, other: "VectorClock") -> bool:
+        """True iff self >= other componentwise."""
+        self._check(other)
+        return all(a >= b for a, b in zip(self.components,
+                                          other.components))
+
+    def strictly_dominates(self, other: "VectorClock") -> bool:
+        """True iff self >= other and self != other (other -> self)."""
+        return self.dominates(other) and self.components != other.components
+
+    def concurrent_with(self, other: "VectorClock") -> bool:
+        return not self.dominates(other) and not other.dominates(self)
+
+    def total(self) -> int:
+        """Sum of components: any linear extension key of hb1 (if
+        a strictly-dominates b then a.total() > b.total())."""
+        return sum(self.components)
+
+    def _check(self, other: "VectorClock") -> None:
+        if len(self.components) != len(other.components):
+            raise ValueError("vector clock size mismatch: "
+                             f"{len(self)} vs {len(other)}")
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, VectorClock)
+                and self.components == other.components)
+
+    def __hash__(self) -> int:
+        return hash(self.components)
+
+    def __repr__(self) -> str:
+        return f"VC{self.components}"

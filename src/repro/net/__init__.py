@@ -1,0 +1,25 @@
+"""Network substrate: message model and contention models."""
+
+from repro.net.atm import AtmNetwork
+from repro.net.base import Network, NetworkStats
+from repro.net.ethernet import EthernetNetwork
+from repro.net.ideal import IdealNetwork
+from repro.net.message import Message, MsgKind
+
+
+def build_network(sim, config):
+    """Instantiate the network named by ``config.network.kind``."""
+    kind = config.network.kind
+    if kind == "ethernet":
+        return EthernetNetwork(sim, config)
+    if kind == "atm":
+        return AtmNetwork(sim, config)
+    if kind == "ideal":
+        return IdealNetwork(sim, config)
+    raise ValueError(f"unknown network kind: {kind!r}")
+
+
+__all__ = [
+    "AtmNetwork", "EthernetNetwork", "IdealNetwork", "Message", "MsgKind",
+    "Network", "NetworkStats", "build_network",
+]

@@ -1,0 +1,70 @@
+"""Network interface and shared statistics.
+
+A network's single job is: given a message handed over at the current
+simulated time (after the sender has already paid its software
+overhead), decide when the message is delivered at the receiver, folding
+in wire (serialization) time, propagation latency, and contention.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.core.config import MachineConfig
+from repro.net.message import Message
+from repro.sim.engine import Simulator
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate traffic and contention accounting."""
+
+    messages: int = 0
+    bytes_sent: int = 0
+    data_bytes_sent: int = 0
+    busy_cycles: float = 0.0
+    contention_cycles: float = 0.0
+    collisions: int = 0
+
+    def record(self, message: Message, wire: float, waited: float) -> None:
+        self.messages += 1
+        self.bytes_sent += message.size_bytes
+        self.data_bytes_sent += message.data_bytes
+        self.busy_cycles += wire
+        self.contention_cycles += waited
+
+
+class Network(ABC):
+    """Base class for the three contention models."""
+
+    def __init__(self, sim: Simulator, config: MachineConfig) -> None:
+        self.sim = sim
+        self.config = config
+        self.stats = NetworkStats()
+        self.latency_cycles = config.us_to_cycles(config.network.latency_us)
+        self._deliver: Optional[Callable[[Message], None]] = None
+
+    def attach(self, deliver: Callable[[Message], None]) -> None:
+        """Register the machine-level delivery callback."""
+        self._deliver = deliver
+
+    def wire_cycles(self, message: Message) -> float:
+        return self.config.wire_cycles(message.size_bytes)
+
+    def transmit(self, message: Message) -> float:
+        """Accept a message now; schedule delivery.  Returns the
+        scheduled delivery time (useful for tests)."""
+        if self._deliver is None:
+            raise RuntimeError("network not attached to a machine")
+        if not (0 <= message.dst < self.config.nprocs):
+            raise ValueError(f"destination {message.dst} out of range")
+        delivery_time = self._schedule(message)
+        self.sim.schedule(delivery_time - self.sim.now,
+                          self._deliver, message)
+        return delivery_time
+
+    @abstractmethod
+    def _schedule(self, message: Message) -> float:
+        """Model-specific: pick the delivery time and record stats."""

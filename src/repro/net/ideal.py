@@ -1,0 +1,18 @@
+"""Ideal network: no wire time, no contention, fixed latency.
+
+Used by unit tests to isolate protocol logic from network modelling,
+and as the contention-free limit in ablation studies.
+"""
+
+from __future__ import annotations
+
+from repro.net.base import Network
+from repro.net.message import Message
+
+
+class IdealNetwork(Network):
+    """Delivers every message after the configured latency."""
+
+    def _schedule(self, message: Message) -> float:
+        self.stats.record(message, 0.0, 0.0)
+        return self.sim.now + self.latency_cycles

@@ -1,0 +1,74 @@
+"""Protocol messages.
+
+Following the paper's accounting, a message's wire length is a fixed
+header plus the *shared data* it carries (diffs or whole pages);
+protocol-specific consistency information (write notices, vector times,
+copysets) travels free of charge.  The metrics layer classifies messages
+as synchronization vs. data traffic from their kind.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Optional
+
+from repro.core.config import MESSAGE_HEADER_BYTES
+
+_message_ids = itertools.count()
+
+
+class MsgKind(Enum):
+    """Every message type exchanged by the five protocols."""
+
+    LOCK_REQ = "lock_req"            # acquirer -> lock owner
+    LOCK_FWD = "lock_fwd"            # lock owner -> current holder
+    LOCK_GRANT = "lock_grant"        # releaser -> acquirer (+consistency)
+    BARRIER_ARRIVE = "barrier_arrive"  # worker -> barrier master
+    BARRIER_DEPART = "barrier_depart"  # barrier master -> worker
+    PAGE_REQ = "page_req"            # access miss: ask for a page copy
+    PAGE_FWD = "page_fwd"            # owner forwards miss to valid cacher
+    PAGE_REPLY = "page_reply"        # page contents (+diffs for lazy)
+    DIFF_REQ = "diff_req"            # lazy miss: ask a modifier for diffs
+    DIFF_REPLY = "diff_reply"        # diffs
+    FLUSH = "flush"                  # eager release: notices or updates
+    FLUSH_ACK = "flush_ack"          # ack (EI ack may carry merge diffs)
+    UPDATE_PUSH = "update_push"      # pre-barrier update distribution
+    UPDATE_ACK = "update_ack"        # ack for LU/EU pushes
+    DIFF_FWD = "diff_fwd"            # EI barrier: loser -> winner diffs
+
+    @property
+    def is_synchronization(self) -> bool:
+        """Messages whose *purpose* is synchronization (lock/barrier)."""
+        return self in (MsgKind.LOCK_REQ, MsgKind.LOCK_FWD,
+                        MsgKind.LOCK_GRANT, MsgKind.BARRIER_ARRIVE,
+                        MsgKind.BARRIER_DEPART)
+
+
+@dataclass
+class Message:
+    """One point-to-point protocol message."""
+
+    src: int
+    dst: int
+    kind: MsgKind
+    payload: Any = None
+    data_bytes: int = 0  # shared data carried (diffs / page contents)
+    lazy: bool = False   # lazy protocols pay doubled per-byte overhead
+    msg_id: int = field(default_factory=lambda: next(_message_ids))
+    reply_to: Optional[int] = None  # correlating request msg_id
+
+    def __post_init__(self) -> None:
+        if self.src == self.dst:
+            raise ValueError(f"message to self: proc {self.src}")
+        if self.data_bytes < 0:
+            raise ValueError("negative data_bytes")
+
+    @property
+    def size_bytes(self) -> int:
+        return MESSAGE_HEADER_BYTES + self.data_bytes
+
+    def __repr__(self) -> str:
+        return (f"<Msg #{self.msg_id} {self.kind.value} "
+                f"{self.src}->{self.dst} data={self.data_bytes}B>")

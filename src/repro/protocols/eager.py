@@ -1,0 +1,369 @@
+"""Eager protocols: eager invalidate (EI) and eager update (EU).
+
+Both are Munin-style multiple-writer protocols: a processor delays
+propagating its modifications until it reaches a release, then *pushes*
+consistency information to every other believed cacher of the modified
+pages, taking multiple rounds if its (approximate) copysets turn out to
+be stale.  The release does not complete until every recipient has
+acknowledged.
+
+**EU** pushes the diffs themselves; recipients apply them in place and
+every copy stays valid.
+
+**EI** pushes write notices (invalidations).  Concurrent modifications
+of a falsely-shared page must still be *merged* somewhere; we use the
+page's statically-assigned owner as the merge point (its *home*): at a
+release the flusher also sends its diffs to each modified page's home,
+which applies them into the never-invalidated home copy, and every
+access miss fetches the full merged page from the home (whole-page
+transfers are why EI moves the most data in the paper's Figures 9, 15
+and 18).  This home-based merge replaces the paper's barrier-time
+"winner" election with a winner fixed a priori — the home — which keeps
+exactly one merged valid copy per page under arbitrary false sharing
+and race interleavings; the message accounting is equivalent (one diff
+message per excess modifier, 'v' in Table 1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional, Set, Tuple
+
+from repro.mem.intervals import IntervalRecord
+from repro.mem.timestamps import VectorClock
+from repro.net.message import Message, MsgKind
+from repro.protocols.base import (BaseProtocol, ConsistencyInfo,
+                                  ProtocolError)
+
+
+class EagerBase(BaseProtocol):
+    """Shared eager machinery: owner-served misses with race poisoning,
+    and the acknowledged, multi-round release flush."""
+
+    is_lazy = False
+    flush_with_diffs = False  # EU overrides
+
+    def __init__(self, node) -> None:
+        super().__init__(node)
+        # Pages we are currently fetching.  A flush that arrives for
+        # such a page must neither drop us from the flusher's copyset
+        # nor be lost: it is parked here and reconciled against the
+        # fetched copy (applied if it is a diff, or — for a bare
+        # invalidation — the fetch retries until the home reflects it).
+        self._miss_in_flight: Set[int] = set()
+        self._poison_records: Dict[int, List[Tuple[IntervalRecord,
+                                                   object]]] = {}
+
+    # -- access misses ----------------------------------------------------
+
+    def ensure_valid(self, page: int, for_write: bool) -> Generator:
+        node = self.node
+        copy = node.pagetable.get(page)
+        if copy is not None and copy.valid:
+            return
+        started = node.sim.now
+        if for_write:
+            node.metrics.write_misses += 1
+        else:
+            node.metrics.read_misses += 1
+        if copy is None:
+            node.metrics.cold_misses += 1
+        owner = node.page_owner(page)
+        if owner == node.proc:
+            raise ProtocolError(
+                f"home {node.proc} of page {page} has an invalid copy")
+        while True:
+            self._miss_in_flight.add(page)
+            reply = yield from node.request_from_app(Message(
+                src=node.proc, dst=owner, kind=MsgKind.PAGE_REQ,
+                payload={"page": page, "requester": node.proc}))
+            self._miss_in_flight.discard(page)
+            fresh = node.pagetable.install(page,
+                                           values=reply.payload["values"],
+                                           valid=True)
+            fresh.applied = dict(reply.payload["applied"])
+            fresh.pending_notices = []
+            node.metrics.page_transfers += 1
+            node.copysets.add_many(page, reply.payload["copyset"])
+            node.copysets.add(page, node.proc)
+            # Our own not-yet-flushed modifications are not at the home
+            # yet: lay them back over the fetched copy.
+            self._reapply_unpropagated(page, fresh)
+            # Reconcile flushes that raced the fetch.
+            raced = self._poison_records.pop(page, [])
+            unmet = []
+            for record, diff in raced:
+                if fresh.is_applied(record.proc, record.index):
+                    continue
+                if diff is not None:
+                    diff.apply(fresh.values)
+                    fresh.mark_applied(record.proc, record.index)
+                else:
+                    unmet.append((record, diff))
+            if not unmet:
+                break
+            # An invalidation we saw is not yet reflected at the home:
+            # the reply overtook the flusher's home update.  Retry.
+            fresh.valid = False
+            self._poison_records.setdefault(page, []).extend(unmet)
+        node.metrics.miss_wait_cycles += node.sim.now - started
+
+    def _reapply_unpropagated(self, page: int, copy) -> None:
+        node = self.node
+        for index in self.own_page_intervals.get(page, ()):
+            interval_id = (node.proc, index)
+            if page in self.unpropagated.get(interval_id, ()):
+                diff = self._require_diff(node.proc, index, page)
+                diff.apply(copy.values)
+                copy.mark_applied(node.proc, index)
+
+    def _serve_eager_page_request(self, message: Message) -> None:
+        """Home side of a miss: the home copy is always valid."""
+        node = self.node
+        page = message.payload["page"]
+        requester = message.payload["requester"]
+        copy = node.pagetable.get(page)
+        if copy is None or not copy.valid:
+            raise ProtocolError(
+                f"home {node.proc} cannot serve page {page}: copy "
+                f"{'missing' if copy is None else 'invalid'}")
+        node.copysets.add(page, requester)
+        node.handler_send(Message(
+            src=node.proc, dst=requester, kind=MsgKind.PAGE_REPLY,
+            reply_to=message.msg_id,
+            payload={"page": page, "values": copy.values.copy(),
+                     "applied": dict(copy.applied),
+                     "copyset": set(node.copysets.get(page))},
+            data_bytes=node.config.page_size))
+
+    # -- the release flush ---------------------------------------------------
+
+    def on_release(self) -> Generator:
+        yield from self.seal_from_app()
+        yield from self.flush()
+
+    def flush(self) -> Generator:
+        """Propagate our sealed-but-unpropagated modifications.
+
+        EU: diffs to every believed cacher, with acks, looping while
+        acks reveal cachers we missed.
+
+        EI: diffs to each modified page's home (merged into the home
+        copy) plus invalidation notices to the other cachers, same ack
+        and round structure.
+        """
+        node = self.node
+        pending: List[Tuple[IntervalRecord, Set[int]]] = [
+            (node.interval_log.get(iid), set(iid_pages))
+            for iid, iid_pages in self.unpropagated.items()]
+        pages: Set[int] = set()
+        for _record, record_pages in pending:
+            pages.update(record_pages)
+        if not pages:
+            return
+        # Coverage is per (target, page): an ack can reveal that a
+        # target we already flushed other pages to also caches this
+        # page, in which case the next round must still reach it.
+        sent: Set[Tuple[int, int]] = set()
+        while True:
+            needed: Dict[int, Set[int]] = {}
+            for page in pages:
+                destinations = set(node.copysets.others(page))
+                home = node.page_owner(page)
+                if home != node.proc:
+                    destinations.add(home)
+                for target in destinations:
+                    if (target, page) not in sent:
+                        needed.setdefault(target, set()).add(page)
+            if not needed:
+                break
+            reply_events = []
+            for target, target_pages in sorted(needed.items()):
+                entries = self._flush_entries(pending, target,
+                                              target_pages)
+                sent.update((target, page) for page in target_pages)
+                if not entries:
+                    continue
+                data = sum(self.diff_bytes(d)
+                           for _r, _p, d in entries if d is not None)
+                message = Message(
+                    src=node.proc, dst=target, kind=MsgKind.FLUSH,
+                    payload={"entries": entries,
+                             "update": self.flush_with_diffs},
+                    data_bytes=data)
+                reply_events.append(node.expect_reply(message))
+                yield from node.app_send(message)
+            if not reply_events:
+                break
+            replies = yield node.sim.all_of(reply_events)
+            for reply in replies:
+                self._absorb_flush_ack(reply)
+        for record, record_pages in pending:
+            for page in record_pages:
+                self.mark_propagated(record.interval_id, page)
+
+    def _flush_entries(self, pending, target, allowed_pages
+                       ) -> List[Tuple[IntervalRecord, int, object]]:
+        """(record, page, diff-or-None) entries relevant to ``target``,
+        restricted to ``allowed_pages`` (this round's coverage).
+
+        EU sends a diff for every page the target is believed to cache.
+        EI sends the diff when the target is the page's home (merge)
+        and a bare notice (invalidation) when it is any other cacher.
+        """
+        node = self.node
+        entries = []
+        for record, record_pages in pending:
+            for page in sorted(record_pages):
+                if page not in allowed_pages:
+                    continue
+                is_home = node.page_owner(page) == target
+                cached = node.copysets.believes_cached(page, target)
+                if not cached and not is_home:
+                    continue
+                diff = None
+                if self.flush_with_diffs or is_home:
+                    diff = node.diff_store.get(record.proc,
+                                               record.index, page)
+                entries.append((record, page, diff))
+        return entries
+
+    def _absorb_flush_ack(self, reply: Message) -> None:
+        node = self.node
+        payload = reply.payload
+        for page, copyset in payload["copysets"].items():
+            node.copysets.add_many(page, copyset)
+        for page in payload["not_cached"]:
+            node.copysets.remove(page, reply.src)
+
+    def _handle_flush(self, message: Message) -> None:
+        node = self.node
+        entries = message.payload["entries"]
+        with_diffs = message.payload["update"]
+        copysets: Dict[int, set] = {}
+        not_cached: List[int] = []
+        invalidating = sorted({page for _r, page, diff in entries
+                               if diff is None})
+        if any(node.pagetable.get(page) is not None
+               and node.pagetable.get(page).dirty
+               for page in invalidating):
+            # Local concurrent modifications survive as sealed diffs
+            # and reach the home at our own next release.
+            self.seal_in_handler()
+        for record, page, diff in entries:
+            self.incorporate_records([record])
+            copysets[page] = set(node.copysets.get(page))
+            node.copysets.add(page, message.src)
+            copy = node.pagetable.get(page)
+            in_flight = page in self._miss_in_flight
+            if in_flight:
+                # Reconciled after the racing fetch installs.
+                self._poison_records.setdefault(page, []).append(
+                    (record, diff))
+                continue
+            if diff is not None:
+                if copy is None or not copy.valid:
+                    raise ProtocolError(
+                        f"node {node.proc}: flush diff for page {page} "
+                        "arrived at a "
+                        f"{'missing' if copy is None else 'stale'} copy")
+                # EU update, or EI home merge: apply in place.
+                diff.apply(copy.values)
+                copy.mark_applied(record.proc, record.index)
+                node.diff_store.put(record.proc, record.index, diff)
+                node.metrics.diffs_applied += 1
+            else:
+                # EI invalidation notice.
+                if copy is None:
+                    if page not in not_cached:
+                        not_cached.append(page)
+                elif copy.valid:
+                    self.invalidate_page(page)
+        node.handler_send(Message(
+            src=node.proc, dst=message.src, kind=MsgKind.FLUSH_ACK,
+            reply_to=message.msg_id,
+            payload={"copysets": copysets, "not_cached": not_cached}))
+
+    # -- locks: no consistency information on grants -------------------------
+
+    def grant_payload(self, requester: int,
+                      requester_vc: VectorClock,
+                      lock_id=None
+                      ) -> Tuple[Optional[ConsistencyInfo], int]:
+        node = self.node
+        node.peer_vc[requester] = node.peer_vc[requester].merged(node.vc)
+        return None, 0
+
+    def apply_grant(self,
+                    info: Optional[ConsistencyInfo]) -> Generator:
+        if info is not None:
+            raise ProtocolError(f"{self.name} got consistency payload "
+                                "on a lock grant")
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    # -- message dispatch -----------------------------------------------------
+
+    def handle(self, message: Message) -> None:
+        kind = message.kind
+        if kind == MsgKind.PAGE_REQ:
+            self._serve_eager_page_request(message)
+        elif kind == MsgKind.FLUSH:
+            self._handle_flush(message)
+        else:
+            super().handle(message)
+
+
+class EagerInvalidate(EagerBase):
+    """EI: invalidations at release, home-merged concurrent writes,
+    whole-page misses (Table 1 row 'EI')."""
+
+    name = "ei"
+    flush_with_diffs = False
+
+    def pre_barrier(self) -> Generator:
+        # A barrier arrival is a release; consistency information also
+        # reaches everyone through the master, but the home merges (and
+        # the matching invalidations) must be complete before we arrive
+        # so departures read a consistent home.
+        yield from self.on_release()
+
+    def apply_depart(self, payload: dict) -> Generator:
+        node = self.node
+        records = payload["records"]
+        self.incorporate_records(records)
+        modifiers: Dict[int, Set[int]] = {}
+        for record in records:
+            for page in record.pages:
+                modifiers.setdefault(page, set()).add(record.proc)
+        for page, procs in sorted(modifiers.items()):
+            if node.page_owner(page) == node.proc:
+                continue  # the home copy holds the merge: keep it
+            others = procs - {node.proc}
+            copy = node.pagetable.get(page)
+            if others and copy is not None and copy.valid \
+                    and not copy.dirty:
+                self.invalidate_page(page)
+        node.vc = node.vc.merged(payload["vc"])
+        self.last_barrier_vc = payload["vc"]
+        return
+        yield  # pragma: no cover - makes this a generator
+
+
+class EagerUpdate(EagerBase):
+    """EU: diffs pushed to every cacher at each release and barrier
+    arrival (Table 1 row 'EU')."""
+
+    name = "eu"
+    flush_with_diffs = True
+
+    def pre_barrier(self) -> Generator:
+        # A barrier arrival is a release: flush updates with acks.
+        yield from self.on_release()
+
+    def apply_depart(self, payload: dict) -> Generator:
+        node = self.node
+        self.incorporate_records(payload["records"])
+        node.vc = node.vc.merged(payload["vc"])
+        self.last_barrier_vc = payload["vc"]
+        return
+        yield  # pragma: no cover - makes this a generator

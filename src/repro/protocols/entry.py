@@ -1,0 +1,54 @@
+"""Entry-consistency-flavored protocol ('ec', Midway-style).
+
+The paper's related work contrasts release consistency with Bershad &
+Zekauskas's *entry consistency*: "On a lock acquisition EC only needs
+to propagate the shared data associated with the lock", at the price
+of requiring the programmer to bind every piece of shared data to a
+synchronization object (`Machine.bind_lock`).
+
+This implementation grafts that propagation rule onto the LRC
+substrate: a lock grant piggybacks diffs for exactly the pages *bound*
+to that lock (regardless of copyset guesses), and nothing else.  Pages
+named by unbound write notices fall back to invalidate-on-notice, which
+is *stronger* than Midway (real EC gives unbound data no guarantees at
+all), so improperly-annotated programs still run correctly here — they
+just pay LI-like miss costs for whatever they forgot to bind.  Barriers
+behave as in LH (push + notices), matching Midway's treatment of
+global synchronization.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.mem.timestamps import VectorClock
+from repro.protocols.base import ConsistencyInfo
+from repro.protocols.lazy import LazyHybrid
+
+
+class EntryConsistency(LazyHybrid):
+    """'ec': grants move exactly the lock's bound data."""
+
+    name = "ec"
+
+    def grant_payload(self, requester: int,
+                      requester_vc: VectorClock,
+                      lock_id: Optional[int] = None
+                      ) -> Tuple[ConsistencyInfo, int]:
+        node = self.node
+        records = node.interval_log.records_after(requester_vc)
+        bound = (node.machine.pages_bound_to(lock_id)
+                 if lock_id is not None else frozenset())
+        diffs = []
+        for record in records:
+            for page in sorted(record.pages):
+                if page not in bound:
+                    continue
+                diff = self._try_get_diff(record.proc, record.index,
+                                          page)
+                if diff is not None:
+                    diffs.append(((record.proc, record.index), diff))
+        info = ConsistencyInfo(sender_vc=node.vc, records=records,
+                               diffs=diffs)
+        node.peer_vc[requester] = node.peer_vc[requester].merged(node.vc)
+        return info, sum(self.diff_bytes(d) for _iid, d in info.diffs)

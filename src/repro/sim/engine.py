@@ -1,0 +1,142 @@
+"""Discrete-event simulation engine.
+
+The engine is a classic time-ordered event loop.  Model code runs as
+*processes*: Python generators that yield waitables (:class:`Event`,
+timeouts, other processes) and are resumed with the waitable's value.
+
+Time is a float in whatever unit the model chooses; this project uses
+processor cycles throughout (see :mod:`repro.core.config`).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+from repro.sim.events import AllOf, Condition, Event, Timeout
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation reaches an inconsistent state."""
+
+
+class Process(Event):
+    """A running generator.  As an :class:`Event`, it fires (with the
+    generator's return value) when the generator finishes, so processes
+    can be joined by yielding them."""
+
+    __slots__ = ("generator",)
+
+    def __init__(self, sim, generator: Generator, name: str = "") -> None:
+        super().__init__(sim, name=name or getattr(generator, "__name__",
+                                                   "process"))
+        self.generator = generator
+        sim.schedule(0.0, self._resume, None)
+
+    def _resume(self, waited: Optional[Event]) -> None:
+        value = waited.value if isinstance(waited, Event) else None
+        try:
+            target = self.generator.send(value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        if isinstance(target, Process) and target is self:
+            raise SimulationError(f"process {self.name!r} waits on itself")
+        if isinstance(target, Event):
+            target.add_callback(self._resume)
+        elif isinstance(target, (int, float)):
+            Timeout(self.sim, float(target)).add_callback(self._resume)
+        elif isinstance(target, (list, tuple)):
+            AllOf(self.sim, target).add_callback(self._resume)
+        else:
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}; expected an "
+                "Event, a delay, or a list of Events")
+
+
+class Simulator:
+    """Event loop: schedules callbacks and drives processes."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue: List[Tuple[float, int, Callable, Any]] = []
+        self._sequence = itertools.count()
+        self.processed_events = 0
+
+    # -- scheduling ------------------------------------------------------
+
+    def schedule(self, delay: float, callback: Callable, *args) -> None:
+        """Run ``callback(*args)`` at ``now + delay``."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past: {delay}")
+        heapq.heappush(self._queue,
+                       (self.now + delay, next(self._sequence),
+                        callback, args))
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def event(self, name: str = "") -> Event:
+        return Event(self, name)
+
+    def all_of(self, events) -> AllOf:
+        return AllOf(self, events)
+
+    def condition(self) -> Condition:
+        return Condition(self)
+
+    def spawn(self, generator: Generator, name: str = "") -> Process:
+        """Start a new process from a generator."""
+        return Process(self, generator, name=name)
+
+    # -- execution -------------------------------------------------------
+
+    def step(self) -> bool:
+        """Run the earliest pending event.  Returns False when empty."""
+        if not self._queue:
+            return False
+        time, _seq, callback, args = heapq.heappop(self._queue)
+        if time < self.now:
+            raise SimulationError("time went backwards")
+        self.now = time
+        callback(*args)
+        self.processed_events += 1
+        return True
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> float:
+        """Run until the queue drains, ``until`` is reached, or
+        ``max_events`` have been processed.  Returns the final time."""
+        processed = 0
+        while self._queue:
+            if until is not None and self._queue[0][0] > until:
+                self.now = until
+                break
+            if max_events is not None and processed >= max_events:
+                break
+            self.step()
+            processed += 1
+        return self.now
+
+    def run_process(self, process: Process,
+                    max_events: Optional[int] = None) -> Any:
+        """Run until ``process`` completes; returns its return value."""
+        self.run_all(lambda: process.triggered, max_events=max_events)
+        if not process.triggered:
+            raise SimulationError(
+                f"process {process.name!r} did not finish "
+                f"(deadlock or max_events={max_events} exceeded)")
+        return process.value
+
+    def run_all(self, stop: Optional[Callable[[], bool]] = None,
+                max_events: Optional[int] = None) -> float:
+        processed = 0
+        while self._queue:
+            if stop is not None and stop():
+                break
+            if max_events is not None and processed >= max_events:
+                break
+            self.step()
+            processed += 1
+        return self.now

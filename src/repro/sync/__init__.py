@@ -1,0 +1,6 @@
+"""Synchronization substrate: distributed locks and barriers."""
+
+from repro.sync.barriers import BarrierManager
+from repro.sync.locks import LockManager
+
+__all__ = ["BarrierManager", "LockManager"]

@@ -1,0 +1,79 @@
+"""Trace representation: one operation per shared-memory event.
+
+A trace captures everything one processor asked of the DSM — region
+reads/writes (with the written values), lock and barrier operations,
+and computation — in program order.  Replaying it re-issues the same
+requests, which makes traces useful for:
+
+- deterministic regression tests (same trace, same simulated time);
+- cheap what-if studies (replay one recording under every protocol or
+  network without re-running the application logic);
+- demonstrating the classic limitation that made the paper choose
+  *execution-driven* simulation: a trace freezes value-dependent
+  control flow (e.g. TSP's pruning decisions), so replaying it under a
+  protocol with different staleness behaviour reproduces the recorded
+  program's decisions, not the decisions the program would have made.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TraceOp:
+    """One recorded operation.
+
+    ``kind`` is one of: ``compute``, ``read``, ``write``, ``acquire``,
+    ``release``, ``barrier``.  ``a``/``b`` are word offsets for memory
+    operations, the lock/barrier id otherwise (in ``a``); ``values``
+    holds written data; ``segment`` names the shared segment.
+    """
+
+    kind: str
+    a: float = 0
+    b: int = 0
+    segment: str = ""
+    values: Optional[Tuple[float, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("compute", "read", "write", "acquire",
+                             "release", "barrier"):
+            raise ValueError(f"unknown trace op kind {self.kind!r}")
+
+
+@dataclass(frozen=True)
+class SegmentSpec:
+    """Enough to re-allocate a recorded segment on a fresh machine."""
+
+    name: str
+    nwords: int
+    owner: object = "striped"
+    init: Optional[Tuple[float, ...]] = None
+
+
+@dataclass
+class Trace:
+    """A complete recording: the shared segments plus one operation
+    list per processor."""
+
+    nprocs: int
+    segments: List[SegmentSpec] = field(default_factory=list)
+    ops: Dict[int, List[TraceOp]] = field(default_factory=dict)
+
+    def ops_for(self, proc: int) -> List[TraceOp]:
+        return self.ops.get(proc, [])
+
+    @property
+    def total_ops(self) -> int:
+        return sum(len(ops) for ops in self.ops.values())
+
+    def summary(self) -> str:
+        kinds: Dict[str, int] = {}
+        for ops in self.ops.values():
+            for op in ops:
+                kinds[op.kind] = kinds.get(op.kind, 0) + 1
+        parts = ", ".join(f"{k}={v}" for k, v in sorted(kinds.items()))
+        return (f"<Trace {self.nprocs} procs, "
+                f"{len(self.segments)} segments, {parts}>")

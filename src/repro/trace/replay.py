@@ -1,0 +1,74 @@
+"""Trace replay: re-issue a recorded operation stream as an app.
+
+The replayed run performs the *same* shared-memory requests the
+recorded program made — reads fault the same pages, writes store the
+recorded values, locks and barriers synchronize identically — so it
+can be re-simulated under any protocol or network.  What it cannot do
+is change its mind: value-dependent control flow (how many nodes TSP
+explored, which queue item a Cholesky worker popped) is frozen at
+recording time.  That gap between trace-driven and execution-driven
+simulation is precisely why the paper used the latter.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator
+
+import numpy as np
+
+from repro.apps.base import Application
+from repro.core.api import DsmApi
+from repro.core.machine import Machine
+from repro.core.metrics import RunResult
+from repro.trace.events import Trace
+
+
+class TraceReplayApp(Application):
+    """Replays a :class:`Trace` captured by ``record_app``."""
+
+    name = "trace-replay"
+
+    def __init__(self, trace: Trace) -> None:
+        self.trace = trace
+
+    def setup(self, machine: Machine) -> Dict[str, object]:
+        if machine.config.nprocs != self.trace.nprocs:
+            raise ValueError(
+                f"trace was recorded on {self.trace.nprocs} procs, "
+                f"machine has {machine.config.nprocs}")
+        segments = {}
+        for spec in self.trace.segments:
+            init = None if spec.init is None else np.array(spec.init)
+            segments[spec.name] = machine.allocate(
+                spec.name, spec.nwords, init=init, owner=spec.owner)
+        return segments
+
+    def worker(self, api: DsmApi, proc: int,
+               segments: Dict[str, object]) -> Generator:
+        checksum = 0.0
+        for op in self.trace.ops_for(proc):
+            if op.kind == "compute":
+                yield from api.compute(op.a)
+            elif op.kind == "read":
+                values = yield from api.read_region(
+                    segments[op.segment], int(op.a), op.b)
+                checksum += float(values.sum())
+            elif op.kind == "write":
+                yield from api.write_region(
+                    segments[op.segment], int(op.a), op.b,
+                    np.array(op.values))
+            elif op.kind == "acquire":
+                yield from api.acquire(int(op.a))
+            elif op.kind == "release":
+                yield from api.release(int(op.a))
+            elif op.kind == "barrier":
+                yield from api.barrier(int(op.a))
+        return checksum
+
+
+def replay_trace(trace: Trace, config, protocol: str = "lh",
+                 lock_broadcast: bool = False) -> RunResult:
+    """Re-simulate a recorded trace under any protocol/network."""
+    from repro.core.runner import run_app
+    return run_app(TraceReplayApp(trace), config, protocol=protocol,
+                   lock_broadcast=lock_broadcast)

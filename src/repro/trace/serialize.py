@@ -1,0 +1,76 @@
+"""Trace persistence: save/load recorded traces as JSON.
+
+Lets a trace be captured once (the expensive execution-driven run) and
+re-simulated across sessions — e.g. by a benchmarking pipeline that
+sweeps protocols and networks over a fixed workload file.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Union
+
+from repro.trace.events import SegmentSpec, Trace, TraceOp
+
+FORMAT_VERSION = 1
+
+
+def trace_to_dict(trace: Trace) -> dict:
+    return {
+        "version": FORMAT_VERSION,
+        "nprocs": trace.nprocs,
+        "segments": [
+            {"name": s.name, "nwords": s.nwords,
+             "owner": s.owner,
+             "init": list(s.init) if s.init is not None else None}
+            for s in trace.segments],
+        "ops": {
+            str(proc): [
+                {"kind": op.kind, "a": op.a, "b": op.b,
+                 "segment": op.segment,
+                 "values": (list(op.values)
+                            if op.values is not None else None)}
+                for op in ops]
+            for proc, ops in trace.ops.items()},
+    }
+
+
+def trace_from_dict(data: dict) -> Trace:
+    version = data.get("version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported trace format version {version}")
+    trace = Trace(nprocs=data["nprocs"])
+    for seg in data["segments"]:
+        owner = seg["owner"]
+        trace.segments.append(SegmentSpec(
+            name=seg["name"], nwords=seg["nwords"], owner=owner,
+            init=(tuple(seg["init"])
+                  if seg["init"] is not None else None)))
+    for proc_text, ops in data["ops"].items():
+        trace.ops[int(proc_text)] = [
+            TraceOp(kind=op["kind"], a=op["a"], b=op["b"],
+                    segment=op["segment"],
+                    values=(tuple(op["values"])
+                            if op["values"] is not None else None))
+            for op in ops]
+    return trace
+
+
+def save_trace(trace: Trace, target: Union[str, IO]) -> None:
+    """Write a trace as JSON to a path or open file object."""
+    data = trace_to_dict(trace)
+    if isinstance(target, str):
+        with open(target, "w") as handle:
+            json.dump(data, handle)
+    else:
+        json.dump(data, target)
+
+
+def load_trace(source: Union[str, IO]) -> Trace:
+    """Read a trace saved by :func:`save_trace`."""
+    if isinstance(source, str):
+        with open(source) as handle:
+            data = json.load(handle)
+    else:
+        data = json.load(source)
+    return trace_from_dict(data)

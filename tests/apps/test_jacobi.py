@@ -1,0 +1,74 @@
+"""Jacobi application: numerical correctness under every protocol."""
+
+import numpy as np
+import pytest
+
+from repro.apps.jacobi import Jacobi, boundary_grid, sequential_jacobi
+from repro.core import MachineConfig, NetworkConfig, run_app
+from repro.protocols import PROTOCOL_NAMES
+
+
+def test_sequential_oracle_converges_toward_boundary_average():
+    grid = sequential_jacobi(16, 200)
+    # Interior values must have moved off zero toward the hot edges.
+    assert grid[1:-1, 1:-1].min() > 0.0
+    assert grid[8, 8] < 100.0
+
+
+def test_boundary_grid_shape():
+    grid = boundary_grid(8)
+    assert grid[0, 1:-1].tolist() == [100.0] * 6  # corners are sides
+    assert grid[4, 0] == 50.0
+    assert grid[4, 4] == 0.0
+
+
+@pytest.mark.parametrize("protocol", PROTOCOL_NAMES)
+def test_jacobi_matches_oracle_all_protocols(protocol):
+    config = MachineConfig(nprocs=4, network=NetworkConfig.atm())
+    result = run_app(Jacobi(n=32, iterations=4), config,
+                     protocol=protocol)
+    # finish() raises on mismatch; confirm the run did real work.
+    assert result.elapsed_cycles > 0
+    assert result.total_messages > 0
+
+
+def test_jacobi_single_processor_no_messages():
+    config = MachineConfig(nprocs=1)
+    result = run_app(Jacobi(n=16, iterations=3), config)
+    assert result.total_messages == 0
+
+
+def test_jacobi_uneven_partition():
+    """More processors than convenient divisors: 5 procs, 16 rows."""
+    config = MachineConfig(nprocs=5, network=NetworkConfig.atm())
+    result = run_app(Jacobi(n=16, iterations=3), config, protocol="lh")
+    assert result.elapsed_cycles > 0
+
+
+def test_jacobi_more_procs_than_rows():
+    config = MachineConfig(nprocs=8, network=NetworkConfig.atm())
+    result = run_app(Jacobi(n=6, iterations=2), config, protocol="li")
+    assert result.elapsed_cycles > 0
+
+
+def test_jacobi_scales_on_atm():
+    """Simulated time must drop substantially from 1 to 4 processors
+    on the ATM network (the paper's headline coarse-grain result)."""
+    base = run_app(Jacobi(n=128, iterations=4),
+                   MachineConfig(nprocs=1, network=NetworkConfig.atm()))
+    par = run_app(Jacobi(n=128, iterations=4),
+                  MachineConfig(nprocs=4, network=NetworkConfig.atm()),
+                  protocol="lh")
+    speedup = base.elapsed_cycles / par.elapsed_cycles
+    assert speedup > 1.5, f"Jacobi 4-proc speedup only {speedup:.2f}"
+
+
+def test_jacobi_too_small_grid_does_not_scale():
+    """Communication dominates tiny grids: the simulator must show the
+    paper's compute/communication tradeoff, not free parallelism."""
+    base = run_app(Jacobi(n=32, iterations=4),
+                   MachineConfig(nprocs=1, network=NetworkConfig.atm()))
+    par = run_app(Jacobi(n=32, iterations=4),
+                  MachineConfig(nprocs=8, network=NetworkConfig.atm()),
+                  protocol="lh")
+    assert base.elapsed_cycles / par.elapsed_cycles < 2.0

@@ -1,0 +1,57 @@
+"""CLI smoke tests (small scale to stay fast)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_builds_and_rejects_unknown_app():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["run", "doom"])
+
+
+def test_run_command(capsys):
+    assert main(["run", "water", "--procs", "2",
+                 "--scale", "small"]) == 0
+    out = capsys.readouterr().out
+    assert "water/lh on 2 procs" in out
+    assert "time breakdown" in out
+
+
+def test_run_with_speedup(capsys):
+    assert main(["run", "jacobi", "--procs", "2", "--scale", "small",
+                 "--speedup"]) == 0
+    assert "speedup over sequential" in capsys.readouterr().out
+
+
+def test_compare_command_lists_all_protocols(capsys):
+    assert main(["compare", "water", "--procs", "2",
+                 "--scale", "small"]) == 0
+    out = capsys.readouterr().out
+    for protocol in ("lh", "li", "lu", "ei", "eu"):
+        assert f"\n{protocol:>6s}" in out or out.startswith(protocol)
+
+
+def test_sweep_command(capsys):
+    assert main(["sweep", "jacobi", "--scale", "small",
+                 "--proc-list", "1,2", "--protocol", "li"]) == 0
+    out = capsys.readouterr().out
+    assert "jacobi/li" in out
+    assert "speedup=" in out
+
+
+def test_networks_command(capsys):
+    assert main(["networks", "--app", "jacobi", "--procs", "2",
+                 "--scale", "small"]) == 0
+    out = capsys.readouterr().out
+    assert "Ethernet" in out
+    assert "ATM" in out
+
+
+def test_report_command(tmp_path, capsys):
+    target = tmp_path / "report.md"
+    assert main(["report", str(target), "--scale", "small"]) == 0
+    text = target.read_text()
+    assert "# EXPERIMENTS" in text
+    assert "Table 2" in text

@@ -1,0 +1,199 @@
+"""Unit tests for the machine, node CPU model, and application API."""
+
+import numpy as np
+import pytest
+
+from repro.core import DsmApi, Machine, MachineConfig, NetworkConfig
+from repro.net.message import Message, MsgKind
+from repro.sim.engine import SimulationError
+
+
+def make_machine(nprocs=4, protocol="lh", **kwargs):
+    config = MachineConfig(nprocs=nprocs,
+                           network=NetworkConfig.ideal(), **kwargs)
+    return Machine(config, protocol=protocol)
+
+
+class TestAllocation:
+    def test_striped_ownership(self):
+        machine = make_machine(nprocs=4)
+        seg = machine.allocate("a", machine.config.words_per_page * 6,
+                               owner="striped")
+        owners = [machine.page_owner(p) for p in seg.pages]
+        assert owners == [0, 1, 2, 3, 0, 1]
+
+    def test_block_ownership(self):
+        machine = make_machine(nprocs=4)
+        seg = machine.allocate("a", machine.config.words_per_page * 8,
+                               owner="block")
+        owners = [machine.page_owner(p) for p in seg.pages]
+        assert owners == [0, 0, 1, 1, 2, 2, 3, 3]
+
+    def test_fixed_ownership(self):
+        machine = make_machine(nprocs=4)
+        seg = machine.allocate("a", 64, owner=2)
+        assert machine.page_owner(seg.first_page) == 2
+        copy = machine.nodes[2].pagetable.get(seg.first_page)
+        assert copy is not None and copy.valid
+
+    def test_init_values_land_at_owner(self):
+        machine = make_machine(nprocs=2)
+        init = np.arange(100, dtype=float)
+        seg = machine.allocate("a", 100, init=init, owner=0)
+        copy = machine.nodes[0].pagetable.get(seg.first_page)
+        np.testing.assert_array_equal(copy.values[:100], init)
+
+    def test_bad_owner_spec_rejected(self):
+        machine = make_machine(nprocs=2)
+        with pytest.raises(ValueError):
+            machine.allocate("a", 8, owner="diagonal")
+        with pytest.raises(ValueError):
+            machine.allocate("b", 8, owner=7)
+
+    def test_init_length_checked(self):
+        machine = make_machine(nprocs=2)
+        with pytest.raises(ValueError):
+            machine.allocate("a", 8, init=np.zeros(9))
+
+    def test_unallocated_page_owner_rejected(self):
+        machine = make_machine(nprocs=2)
+        with pytest.raises(SimulationError):
+            machine.page_owner(99)
+
+
+class TestRun:
+    def test_run_collects_per_proc_results(self):
+        machine = make_machine(nprocs=3)
+        machine.allocate("a", 8)
+
+        def worker(api, proc):
+            yield from api.compute(100 * (proc + 1))
+            return proc * 10
+
+        result = machine.run(
+            lambda p: worker(DsmApi(machine.nodes[p]), p))
+        assert result.app_result == [0, 10, 20]
+        assert result.elapsed_cycles == 300.0
+
+    def test_deadlock_reported_with_culprits(self):
+        machine = make_machine(nprocs=2)
+        machine.allocate("a", 8)
+
+        def worker(api, proc):
+            if proc == 0:
+                yield from api.barrier(0)  # proc 1 never arrives
+            else:
+                yield from api.compute(1)
+
+        with pytest.raises(SimulationError, match=r"\[0\]"):
+            machine.run(lambda p: worker(DsmApi(machine.nodes[p]), p))
+
+
+class TestApi:
+    def test_write_scalar_broadcast(self):
+        machine = make_machine(nprocs=1)
+        seg = machine.allocate("a", 32)
+
+        def worker(api, proc):
+            yield from api.write_region(seg, 4, 8, 7.5)
+            data = yield from api.read_region(seg, 0, 10)
+            return data.tolist()
+
+        result = machine.run(
+            lambda p: worker(DsmApi(machine.nodes[p]), p))
+        assert result.app_result[0] == [0, 0, 0, 0, 7.5, 7.5, 7.5,
+                                        7.5, 0, 0]
+
+    def test_write_length_mismatch_rejected(self):
+        machine = make_machine(nprocs=1)
+        seg = machine.allocate("a", 32)
+
+        def worker(api, proc):
+            yield from api.write_region(seg, 0, 4, np.zeros(5))
+
+        with pytest.raises(ValueError):
+            machine.run(lambda p: worker(DsmApi(machine.nodes[p]), p))
+
+    def test_region_ops_cross_page_boundaries(self):
+        machine = make_machine(nprocs=2)
+        words = machine.config.words_per_page
+        seg = machine.allocate("a", words * 3)
+
+        def worker(api, proc):
+            if proc == 0:
+                span = np.arange(words * 2, dtype=float)
+                yield from api.write_region(seg, words // 2,
+                                            words // 2 + len(span),
+                                            span)
+            yield from api.barrier(0)
+            data = yield from api.read_region(seg, words // 2,
+                                              words // 2 + words * 2)
+            return float(data.sum())
+
+        result = machine.run(
+            lambda p: worker(DsmApi(machine.nodes[p]), p))
+        expected = float(np.arange(words * 2).sum())
+        assert result.app_result == [expected, expected]
+
+
+class TestCpuModel:
+    def test_compute_accounts_interrupt_cycles(self):
+        """Handler (interrupt) work that lands inside an application
+        compute window stretches the window."""
+        machine = make_machine(nprocs=2)
+        machine.allocate("a", 8)
+        node = machine.nodes[0]
+        finished = {}
+
+        def busy(api, proc):
+            if proc == 0:
+                yield from api.compute(10_000)
+                finished["t"] = api.now
+            else:
+                yield from api.compute(1)
+
+        # Inject an interrupt at t=5000 worth 2000 cycles.
+        machine.sim.schedule(5_000.0, node.handler_charge, 2_000.0)
+        machine.run(lambda p: busy(DsmApi(machine.nodes[p]), p))
+        assert finished["t"] == 12_000.0
+
+    def test_handlers_serialize(self):
+        machine = make_machine(nprocs=2)
+        node = machine.nodes[0]
+        first_end = node.handler_charge(100.0)
+        second_end = node.handler_charge(50.0)
+        assert first_end == 100.0
+        assert second_end == 150.0
+
+    def test_negative_compute_rejected(self):
+        machine = make_machine(nprocs=1)
+        machine.allocate("a", 8)
+
+        def worker(api, proc):
+            yield from api.compute(-5)
+
+        with pytest.raises(ValueError):
+            machine.run(lambda p: worker(DsmApi(machine.nodes[p]), p))
+
+
+class TestMessagePlumbing:
+    def test_send_with_wrong_source_rejected(self):
+        machine = make_machine(nprocs=2)
+        node = machine.nodes[0]
+        message = Message(src=1, dst=0, kind=MsgKind.PAGE_REQ)
+
+        def proc():
+            yield from node.app_send(message)
+
+        machine.sim.spawn(proc())
+        with pytest.raises(SimulationError, match="src"):
+            machine.sim.run()
+
+    def test_unexpected_reply_rejected(self):
+        machine = make_machine(nprocs=2)
+        message = Message(src=1, dst=0, kind=MsgKind.PAGE_REPLY,
+                          reply_to=12345)
+        machine.nodes[1].metrics.record_send(message)
+        machine.network.transmit(message)
+        with pytest.raises(SimulationError, match="unexpected reply"):
+            machine.sim.run()

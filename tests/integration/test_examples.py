@@ -1,0 +1,82 @@
+"""Every example script must run clean end to end.
+
+Examples are part of the public surface: these tests import each one
+and execute its ``main()`` (scaled-down where the script allows), so a
+library change that breaks an example breaks the build.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+
+def load_example(name: str):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}",
+                                                  path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_examples_directory_complete():
+    names = {p.stem for p in EXAMPLES_DIR.glob("*.py")}
+    assert {"quickstart", "protocol_shootout", "network_study",
+            "tsp_stale_minimum", "jacobi_scaling", "trace_whatif",
+            "multithreading"} <= names
+
+
+def test_quickstart(capsys):
+    load_example("quickstart").main()
+    out = capsys.readouterr().out
+    assert "final counter on every node: [20.0, 20.0, 20.0, 20.0]" \
+        in out
+    assert "messages exchanged" in out
+
+
+def test_protocol_shootout(capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["protocol_shootout.py", "4"])
+    load_example("protocol_shootout").main()
+    out = capsys.readouterr().out
+    assert "best protocol" in out
+    for protocol in ("lh", "li", "lu", "ei", "eu"):
+        assert protocol in out
+
+
+def test_tsp_stale_minimum(capsys):
+    load_example("tsp_stale_minimum").main()
+    out = capsys.readouterr().out
+    assert "eager update" in out
+    assert "optimum=" in out
+
+
+def test_trace_whatif(capsys):
+    load_example("trace_whatif").main()
+    out = capsys.readouterr().out
+    assert "recorded: <Trace" in out
+    assert "replaying the same trace" in out
+
+
+@pytest.mark.slow
+def test_network_study(capsys):
+    load_example("network_study").main()
+    out = capsys.readouterr().out
+    assert "ATM crossbar" in out
+
+
+@pytest.mark.slow
+def test_jacobi_scaling(capsys):
+    load_example("jacobi_scaling").main()
+    out = capsys.readouterr().out
+    assert "512^2" in out
+
+
+@pytest.mark.slow
+def test_multithreading_example(capsys):
+    load_example("multithreading").main()
+    out = capsys.readouterr().out
+    assert "threads/node" in out

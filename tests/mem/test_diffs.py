@@ -1,0 +1,85 @@
+"""Unit tests for run-length encoded diffs."""
+
+import numpy as np
+import pytest
+
+from repro.mem.diffs import (Diff, normalize_ranges, ranges_word_count)
+
+
+def test_normalize_merges_overlaps_and_adjacency():
+    assert normalize_ranges([(5, 10), (0, 3), (3, 5)]) == [(0, 10)]
+    assert normalize_ranges([(0, 2), (4, 6)]) == [(0, 2), (4, 6)]
+    assert normalize_ranges([(0, 5), (2, 3)]) == [(0, 5)]
+
+
+def test_normalize_drops_empty_ranges():
+    assert normalize_ranges([(3, 3), (5, 4)]) == []
+
+
+def test_ranges_word_count():
+    assert ranges_word_count([(0, 4), (10, 11)]) == 5
+
+
+def test_from_ranges_snapshots_values():
+    values = np.arange(16, dtype=np.float64)
+    diff = Diff.from_ranges(7, values, [(2, 5), (8, 10)])
+    values[:] = -1  # later mutation must not leak into the diff
+    assert diff.page == 7
+    assert diff.ranges() == [(2, 5), (8, 10)]
+    assert diff.word_count == 5
+    np.testing.assert_array_equal(diff.runs[0][1], [2.0, 3.0, 4.0])
+
+
+def test_apply_round_trip():
+    source = np.arange(32, dtype=np.float64)
+    diff = Diff.from_ranges(0, source, [(0, 4), (20, 32)])
+    target = np.zeros(32)
+    diff.apply(target)
+    np.testing.assert_array_equal(target[0:4], source[0:4])
+    np.testing.assert_array_equal(target[20:32], source[20:32])
+    assert (target[4:20] == 0).all()
+
+
+def test_apply_out_of_bounds_raises():
+    diff = Diff(0, [(30, np.ones(8))])
+    with pytest.raises(ValueError):
+        diff.apply(np.zeros(32))
+
+
+def test_size_bytes_is_runlength_encoding():
+    values = np.zeros(1024)
+    diff = Diff.from_ranges(0, values, [(0, 10), (100, 101)])
+    # two runs: 8-byte headers + 10*4 + 1*4 payload
+    assert diff.size_bytes == 8 + 40 + 8 + 4
+
+
+def test_empty_diff_has_zero_size():
+    diff = Diff.from_ranges(0, np.zeros(8), [])
+    assert diff.size_bytes == 0
+    assert diff.word_count == 0
+
+
+def test_overlaps():
+    values = np.zeros(64)
+    a = Diff.from_ranges(0, values, [(0, 8)])
+    b = Diff.from_ranges(0, values, [(8, 16)])
+    c = Diff.from_ranges(0, values, [(4, 6)])
+    assert not a.overlaps(b)
+    assert a.overlaps(c)
+    assert c.overlaps(a)
+
+
+def test_disjoint_diffs_apply_commutatively():
+    base = np.zeros(16)
+    left = np.full(16, 1.0)
+    right = np.full(16, 2.0)
+    d1 = Diff.from_ranges(0, left, [(0, 8)])
+    d2 = Diff.from_ranges(0, right, [(8, 16)])
+
+    ab = base.copy()
+    d1.apply(ab)
+    d2.apply(ab)
+    ba = base.copy()
+    d2.apply(ba)
+    d1.apply(ba)
+    np.testing.assert_array_equal(ab, ba)

@@ -1,0 +1,103 @@
+"""Property-based tests for run-length diffs (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem.diffs import Diff, normalize_ranges, ranges_word_count
+
+ranges_strategy = st.lists(
+    st.tuples(st.integers(0, 63), st.integers(0, 63)).map(
+        lambda t: (min(t), max(t) + 1)),
+    min_size=0, max_size=8)
+
+values_strategy = st.lists(
+    st.floats(allow_nan=False, allow_infinity=False,
+              min_value=-1e6, max_value=1e6),
+    min_size=64, max_size=64)
+
+
+@given(ranges_strategy)
+def test_normalize_is_idempotent(ranges):
+    once = normalize_ranges(ranges)
+    assert normalize_ranges(once) == once
+
+
+@given(ranges_strategy)
+def test_normalize_is_sorted_and_disjoint(ranges):
+    result = normalize_ranges(ranges)
+    for (a_start, a_end), (b_start, b_end) in zip(result, result[1:]):
+        assert a_end < b_start  # disjoint AND non-adjacent
+
+
+@given(ranges_strategy)
+def test_normalize_preserves_covered_words(ranges):
+    covered = set()
+    for start, end in ranges:
+        covered.update(range(start, end))
+    result = normalize_ranges(ranges)
+    normalized_covered = set()
+    for start, end in result:
+        normalized_covered.update(range(start, end))
+    assert normalized_covered == covered
+    assert ranges_word_count(result) == len(covered)
+
+
+@given(values_strategy, ranges_strategy)
+def test_diff_round_trip(values, ranges):
+    """Applying a diff to any target makes the covered words equal to
+    the source and leaves everything else untouched."""
+    source = np.array(values)
+    diff = Diff.from_ranges(0, source, ranges)
+    target = np.full(64, -777.0)
+    diff.apply(target)
+    covered = set()
+    for start, end in normalize_ranges(ranges):
+        covered.update(range(start, end))
+    for word in range(64):
+        if word in covered:
+            assert target[word] == source[word]
+        else:
+            assert target[word] == -777.0
+
+
+@given(values_strategy, ranges_strategy)
+def test_diff_apply_is_idempotent(values, ranges):
+    source = np.array(values)
+    diff = Diff.from_ranges(0, source, ranges)
+    target = np.zeros(64)
+    diff.apply(target)
+    once = target.copy()
+    diff.apply(target)
+    np.testing.assert_array_equal(once, target)
+
+
+@given(values_strategy, values_strategy, ranges_strategy,
+       ranges_strategy)
+def test_disjoint_diffs_commute(values_a, values_b, ranges_a, ranges_b):
+    """Diffs over disjoint ranges apply in either order with the same
+    result (the multiple-writer merge property)."""
+    norm_a = normalize_ranges(ranges_a)
+    covered_a = set()
+    for start, end in norm_a:
+        covered_a.update(range(start, end))
+    disjoint_b = [(s, e) for s, e in normalize_ranges(ranges_b)
+                  if not any(w in covered_a for w in range(s, e))]
+    diff_a = Diff.from_ranges(0, np.array(values_a), norm_a)
+    diff_b = Diff.from_ranges(0, np.array(values_b), disjoint_b)
+    ab = np.zeros(64)
+    diff_a.apply(ab)
+    diff_b.apply(ab)
+    ba = np.zeros(64)
+    diff_b.apply(ba)
+    diff_a.apply(ba)
+    np.testing.assert_array_equal(ab, ba)
+    assert not diff_a.overlaps(diff_b)
+
+
+@given(values_strategy, ranges_strategy)
+def test_diff_size_accounts_every_run(values, ranges):
+    diff = Diff.from_ranges(0, np.array(values), ranges)
+    assert diff.size_bytes == sum(8 + 4 * len(v) for _s, v in diff.runs)
+    assert diff.word_count == ranges_word_count(
+        normalize_ranges(ranges))

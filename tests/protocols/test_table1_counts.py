@@ -1,0 +1,66 @@
+"""Table 1 message-cost formulas, verified on micro-scenarios.
+
+(The benchmark `test_tab1_message_costs` prints the full table; these
+tests pin the individual formulas so a protocol regression is caught
+at unit granularity.)
+"""
+
+import pytest
+
+from repro.analysis.table1 import (measure_access_miss, measure_barrier,
+                                   measure_lock_transfer,
+                                   measure_unlock)
+from repro.protocols import PROTOCOL_NAMES
+
+LAZY = ["lh", "li", "lu"]
+
+
+@pytest.mark.parametrize("protocol", PROTOCOL_NAMES)
+def test_miss_with_one_modifier_costs_two_messages(protocol):
+    assert measure_access_miss(protocol, modifiers=1) == 2
+
+
+@pytest.mark.parametrize("protocol", LAZY)
+def test_lazy_miss_costs_2m(protocol):
+    assert measure_access_miss(protocol, modifiers=2) == 4
+    assert measure_access_miss(protocol, modifiers=3) == 6
+
+
+@pytest.mark.parametrize("protocol", ["ei", "eu"])
+def test_eager_miss_is_flat_regardless_of_modifiers(protocol):
+    # Whole-page fetch from the home: always one round trip.
+    assert measure_access_miss(protocol, modifiers=3) == 2
+
+
+@pytest.mark.parametrize("protocol", PROTOCOL_NAMES)
+def test_lock_transfer_costs_three_messages(protocol):
+    assert measure_lock_transfer(protocol) == 3
+
+
+@pytest.mark.parametrize("protocol", LAZY)
+def test_lazy_release_is_free(protocol):
+    assert measure_unlock(protocol, cachers=2) == 0
+
+
+@pytest.mark.parametrize("protocol", ["ei", "eu"])
+def test_eager_release_costs_2c(protocol):
+    assert measure_unlock(protocol, cachers=2) == 4
+    assert measure_unlock(protocol, cachers=3) == 6
+
+
+@pytest.mark.parametrize("protocol", PROTOCOL_NAMES)
+def test_clean_barrier_costs_2n_minus_2(protocol):
+    delta = measure_barrier(protocol, nprocs=4, dirty=False)
+    assert delta["total"] == 6
+    assert delta["sync"] == 6
+
+
+def test_dirty_barrier_update_terms():
+    """With one neighbour cacher per modified page: LH pays +u, LU/EU
+    pay +2u (acks), EI pays its merge term, LI stays at 2(n-1)."""
+    base = 6  # 2(n-1) for n=4
+    assert measure_barrier("li", 4, dirty=True)["total"] == base
+    assert measure_barrier("lh", 4, dirty=True)["total"] == base + 4
+    assert measure_barrier("lu", 4, dirty=True)["total"] == base + 8
+    assert measure_barrier("eu", 4, dirty=True)["total"] == base + 8
+    assert measure_barrier("ei", 4, dirty=True)["total"] == base + 8

@@ -1,0 +1,250 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim import (AllOf, Event, Process, Resource, SimulationError,
+                       Simulator, Timeout)
+
+
+def test_empty_run_returns_zero():
+    sim = Simulator()
+    assert sim.run() == 0.0
+
+
+def test_schedule_order_is_time_then_fifo():
+    sim = Simulator()
+    seen = []
+    sim.schedule(5.0, seen.append, "b")
+    sim.schedule(1.0, seen.append, "a")
+    sim.schedule(5.0, seen.append, "c")
+    sim.run()
+    assert seen == ["a", "b", "c"]
+    assert sim.now == 5.0
+
+
+def test_schedule_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(10.0)
+        yield sim.timeout(2.5)
+        return sim.now
+
+    result = sim.run_process(sim.spawn(proc()))
+    assert result == 12.5
+
+
+def test_yield_bare_number_is_timeout():
+    sim = Simulator()
+
+    def proc():
+        yield 7
+        return sim.now
+
+    assert sim.run_process(sim.spawn(proc())) == 7.0
+
+
+def test_event_wakes_waiter_with_value():
+    sim = Simulator()
+    gate = sim.event("gate")
+    results = []
+
+    def waiter():
+        value = yield gate
+        results.append((sim.now, value))
+
+    def firer():
+        yield sim.timeout(3.0)
+        gate.succeed("hello")
+
+    sim.spawn(waiter())
+    sim.spawn(firer())
+    sim.run()
+    assert results == [(3.0, "hello")]
+
+
+def test_event_double_succeed_raises():
+    sim = Simulator()
+    event = sim.event()
+    event.succeed(1)
+    with pytest.raises(RuntimeError):
+        event.succeed(2)
+
+
+def test_event_callback_after_trigger_still_fires():
+    sim = Simulator()
+    event = sim.event()
+    event.succeed(42)
+    seen = []
+    event.add_callback(lambda e: seen.append(e.value))
+    sim.run()
+    assert seen == [42]
+
+
+def test_process_join_returns_value():
+    sim = Simulator()
+
+    def child():
+        yield sim.timeout(4.0)
+        return "done"
+
+    def parent():
+        value = yield sim.spawn(child())
+        return (sim.now, value)
+
+    assert sim.run_process(sim.spawn(parent())) == (4.0, "done")
+
+
+def test_all_of_waits_for_every_child():
+    sim = Simulator()
+    events = [sim.event(str(i)) for i in range(3)]
+
+    def firer(i):
+        yield sim.timeout(float(i + 1))
+        events[i].succeed(i * 10)
+
+    def waiter():
+        values = yield sim.all_of(events)
+        return (sim.now, values)
+
+    for i in range(3):
+        sim.spawn(firer(i))
+    result = sim.run_process(sim.spawn(waiter()))
+    assert result == (3.0, [0, 10, 20])
+
+
+def test_all_of_empty_fires_immediately():
+    sim = Simulator()
+
+    def waiter():
+        values = yield sim.all_of([])
+        return values
+
+    assert sim.run_process(sim.spawn(waiter())) == []
+
+
+def test_yield_list_waits_for_all():
+    sim = Simulator()
+
+    def waiter():
+        yield [sim.timeout(2.0), sim.timeout(5.0)]
+        return sim.now
+
+    assert sim.run_process(sim.spawn(waiter())) == 5.0
+
+
+def test_process_yielding_garbage_raises():
+    sim = Simulator()
+
+    def proc():
+        yield "nonsense"
+
+    sim.spawn(proc())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_run_until_stops_clock_at_bound():
+    sim = Simulator()
+    seen = []
+    sim.schedule(10.0, seen.append, "late")
+    sim.run(until=5.0)
+    assert seen == []
+    assert sim.now == 5.0
+
+
+def test_deadlock_detected_by_run_process():
+    sim = Simulator()
+
+    def stuck():
+        yield sim.event("never")
+
+    with pytest.raises(SimulationError, match="did not finish"):
+        sim.run_process(sim.spawn(stuck()))
+
+
+def test_condition_notify_all():
+    sim = Simulator()
+    cond = sim.condition()
+    woken = []
+
+    def waiter(i):
+        yield cond.wait()
+        woken.append((i, sim.now))
+
+    def notifier():
+        yield sim.timeout(2.0)
+        cond.notify_all()
+
+    for i in range(3):
+        sim.spawn(waiter(i))
+    sim.spawn(notifier())
+    sim.run()
+    assert sorted(woken) == [(0, 2.0), (1, 2.0), (2, 2.0)]
+
+
+class TestResource:
+    def test_fifo_mutual_exclusion(self):
+        sim = Simulator()
+        resource = Resource(sim, capacity=1, name="cpu")
+        order = []
+
+        def user(i, hold):
+            yield resource.request()
+            order.append((i, sim.now))
+            yield sim.timeout(hold)
+            resource.release()
+
+        for i in range(3):
+            sim.spawn(user(i, 10.0))
+        sim.run()
+        assert order == [(0, 0.0), (1, 10.0), (2, 20.0)]
+        assert resource.total_waits == 2
+        assert resource.total_wait_cycles == 30.0
+
+    def test_capacity_two_allows_parallelism(self):
+        sim = Simulator()
+        resource = Resource(sim, capacity=2)
+        starts = []
+
+        def user(i):
+            yield resource.request()
+            starts.append((i, sim.now))
+            yield sim.timeout(10.0)
+            resource.release()
+
+        for i in range(3):
+            sim.spawn(user(i))
+        sim.run()
+        assert starts == [(0, 0.0), (1, 0.0), (2, 10.0)]
+
+    def test_release_idle_raises(self):
+        sim = Simulator()
+        resource = Resource(sim)
+        with pytest.raises(RuntimeError):
+            resource.release()
+
+
+def test_determinism_same_program_same_times():
+    def build():
+        sim = Simulator()
+        trace = []
+
+        def proc(i):
+            yield sim.timeout(float(i))
+            trace.append((i, sim.now))
+            yield sim.timeout(2.0)
+            trace.append((i, sim.now))
+
+        for i in range(5):
+            sim.spawn(proc(i))
+        sim.run()
+        return trace
+
+    assert build() == build()

@@ -1,0 +1,173 @@
+"""Unit tests for the distributed lock protocol."""
+
+import pytest
+
+from repro.core import DsmApi, Machine, MachineConfig, NetworkConfig
+from repro.net.message import MsgKind
+from repro.sim.engine import SimulationError
+
+
+def make_machine(nprocs=4, protocol="li"):
+    return Machine(MachineConfig(nprocs=nprocs,
+                                 network=NetworkConfig.ideal()),
+                   protocol=protocol)
+
+
+def run(machine, worker):
+    return machine.run(lambda p: worker(DsmApi(machine.nodes[p]), p))
+
+
+def test_owner_initially_holds_token():
+    machine = make_machine()
+    machine.allocate("x", 8)
+
+    def worker(api, proc):
+        if proc == 2:  # lock 2 is owned by proc 2
+            yield from api.acquire(2)
+            yield from api.release(2)
+        yield from api.compute(1)
+
+    result = run(machine, worker)
+    assert result.total_messages == 0
+    assert result.node_metrics[2].lock_local_acquires == 1
+
+
+def test_mutual_exclusion_under_contention():
+    machine = make_machine(nprocs=4)
+    machine.allocate("x", 8)
+    holders = []
+
+    def worker(api, proc):
+        for _ in range(3):
+            yield from api.acquire(0)
+            holders.append(("in", proc, api.now))
+            yield from api.compute(500)
+            holders.append(("out", proc, api.now))
+            yield from api.release(0)
+
+    run(machine, worker)
+    inside = 0
+    for kind, _proc, _t in holders:
+        inside += 1 if kind == "in" else -1
+        assert 0 <= inside <= 1, "two holders at once"
+    assert len(holders) == 24
+
+
+def test_fifo_like_fairness_no_starvation():
+    """Every requester eventually gets the lock."""
+    machine = make_machine(nprocs=4)
+    machine.allocate("x", 8)
+    got = []
+
+    def worker(api, proc):
+        yield from api.acquire(1)
+        got.append(proc)
+        yield from api.compute(100)
+        yield from api.release(1)
+
+    run(machine, worker)
+    assert sorted(got) == [0, 1, 2, 3]
+
+
+def test_grant_carries_distributed_queue():
+    """Requests queued at a holder travel with the token, so no
+    requester is stranded when the token moves on."""
+    machine = make_machine(nprocs=4)
+    machine.allocate("x", 8)
+    order = []
+
+    def worker(api, proc):
+        if proc == 0:
+            yield from api.acquire(0)
+            yield from api.compute(50_000)  # let everyone queue up
+            yield from api.release(0)
+        else:
+            yield from api.compute(100 * proc)
+            yield from api.acquire(0)
+            order.append(proc)
+            yield from api.release(0)
+
+    run(machine, worker)
+    assert sorted(order) == [1, 2, 3]
+
+
+def test_double_acquire_rejected():
+    machine = make_machine(nprocs=2)
+    machine.allocate("x", 8)
+
+    def worker(api, proc):
+        if proc == 0:
+            yield from api.acquire(0)
+            yield from api.acquire(0)
+        yield from api.compute(1)
+
+    with pytest.raises(SimulationError, match="re-acquiring"):
+        run(machine, worker)
+
+
+def test_release_unheld_rejected():
+    machine = make_machine(nprocs=2)
+    machine.allocate("x", 8)
+
+    def worker(api, proc):
+        if proc == 1:
+            yield from api.release(0)
+        yield from api.compute(1)
+
+    with pytest.raises(SimulationError, match="unheld"):
+        run(machine, worker)
+
+
+def test_remote_acquire_costs_two_or_three_messages():
+    """Owner-held token: 2 messages (REQ + GRANT); third-party token:
+    3 (REQ + FWD + GRANT)."""
+    machine = make_machine(nprocs=4)
+    machine.allocate("x", 8)
+    counts = {}
+
+    def worker(api, proc):
+        if proc == 3:
+            start = machine.network.stats.messages
+            yield from api.acquire(1)  # owner 1 still has the token
+            counts["direct"] = machine.network.stats.messages - start
+            yield from api.release(1)
+        yield from api.compute(1)
+
+    run(machine, worker)
+    assert counts["direct"] == 2
+
+    machine2 = make_machine(nprocs=4)
+    machine2.allocate("x", 8)
+
+    def worker2(api, proc):
+        if proc == 2:
+            yield from api.acquire(1)  # token moves 1 -> 2
+            yield from api.release(1)
+        yield from api.barrier(0)
+        if proc == 3:
+            start = machine2.network.stats.messages
+            yield from api.acquire(1)  # REQ->1, FWD->2, GRANT->3
+            counts["forwarded"] = (machine2.network.stats.messages
+                                   - start)
+            yield from api.release(1)
+        yield from api.barrier(1)
+
+    machine2.run(lambda p: worker2(DsmApi(machine2.nodes[p]), p))
+    assert counts["forwarded"] == 3
+
+
+def test_lock_messages_classified_as_synchronization():
+    machine = make_machine(nprocs=2)
+    machine.allocate("x", 8)
+
+    def worker(api, proc):
+        if proc == 0:
+            yield from api.acquire(1)
+            yield from api.release(1)
+        yield from api.compute(1)
+
+    result = run(machine, worker)
+    by_kind = result.messages_by_kind()
+    assert by_kind.get(MsgKind.LOCK_REQ, 0) == 1
+    assert by_kind.get(MsgKind.LOCK_GRANT, 0) == 1
+    assert result.sync_messages == result.total_messages

@@ -1,0 +1,112 @@
+"""Trace recording and replay."""
+
+import pytest
+
+from repro.apps import Jacobi, Tsp, Water
+from repro.core import MachineConfig, NetworkConfig
+from repro.trace import Trace, TraceOp, record_app, replay_trace
+
+
+def config(nprocs=4):
+    return MachineConfig(nprocs=nprocs, network=NetworkConfig.atm())
+
+
+def test_trace_op_validates_kind():
+    with pytest.raises(ValueError):
+        TraceOp("teleport")
+
+
+def test_record_captures_everything():
+    trace, result = record_app(Jacobi(n=16, iterations=2), config())
+    assert trace.nprocs == 4
+    assert {s.name for s in trace.segments} == {"jacobi_a", "jacobi_b"}
+    assert trace.total_ops > 0
+    kinds = {op.kind for ops in trace.ops.values() for op in ops}
+    assert {"read", "write", "barrier", "compute"} <= kinds
+    assert "Trace" in trace.summary()
+
+
+def test_replay_reproduces_value_independent_run_exactly():
+    """Jacobi's control flow is value-independent, so a replay under
+    the same configuration reproduces messages and simulated time."""
+    trace, original = record_app(Jacobi(n=16, iterations=2), config(),
+                                 protocol="lh")
+    replayed = replay_trace(trace, config(), protocol="lh")
+    assert replayed.total_messages == original.total_messages
+    assert replayed.data_kbytes == pytest.approx(original.data_kbytes)
+    assert replayed.elapsed_cycles == pytest.approx(
+        original.elapsed_cycles, rel=0.01)
+
+
+def test_replay_under_other_protocols_runs_and_differs():
+    trace, original = record_app(Water(nmols=12, steps=1), config(),
+                                 protocol="lh")
+    replay_eu = replay_trace(trace, config(), protocol="eu")
+    assert replay_eu.elapsed_cycles > 0
+    # Different protocol, same requests: traffic profile changes.
+    assert replay_eu.total_messages != original.total_messages
+
+
+def test_replay_proc_count_mismatch_rejected():
+    trace, _result = record_app(Jacobi(n=16, iterations=1), config(4))
+    with pytest.raises(ValueError, match="recorded on 4"):
+        replay_trace(trace, config(2))
+
+
+def test_trace_driven_freezes_control_flow():
+    """The paper's reason for execution-driven simulation: replaying
+    an eager-protocol TSP trace under a lazy protocol re-issues the
+    *eager* run's search decisions — it cannot model the extra
+    exploration a stale bound would really cause."""
+    app = Tsp(ncities=8, seed=7)
+    trace, eager_run = record_app(app, config(), protocol="eu")
+    eager_ops = trace.total_ops
+
+    # Execution-driven lazy run: the search itself changes.
+    lazy_app = Tsp(ncities=8, seed=7)
+    from repro.core import run_app
+    lazy_run = run_app(lazy_app, config(), protocol="li")
+
+    # Trace-driven lazy run: identical op stream as the eager run.
+    lazy_replay = replay_trace(trace, config(), protocol="li")
+    assert trace.total_ops == eager_ops  # replay cannot add work
+    assert lazy_replay.elapsed_cycles > 0
+
+
+class TestSerialization:
+    def _record(self):
+        return record_app(Jacobi(n=16, iterations=1), config(2))
+
+    def test_round_trip_preserves_everything(self, tmp_path):
+        from repro.trace import load_trace, save_trace
+        trace, _result = self._record()
+        path = tmp_path / "trace.json"
+        save_trace(trace, str(path))
+        loaded = load_trace(str(path))
+        assert loaded.nprocs == trace.nprocs
+        assert loaded.segments == trace.segments
+        assert loaded.ops == trace.ops
+
+    def test_replay_of_loaded_trace_matches_original(self, tmp_path):
+        from repro.trace import load_trace, save_trace
+        trace, original = self._record()
+        path = tmp_path / "trace.json"
+        save_trace(trace, str(path))
+        replayed = replay_trace(load_trace(str(path)), config(2))
+        assert replayed.total_messages == original.total_messages
+
+    def test_version_check(self):
+        import pytest as _pytest
+        from repro.trace import trace_from_dict
+        with _pytest.raises(ValueError, match="version"):
+            trace_from_dict({"version": 99})
+
+    def test_file_object_round_trip(self):
+        import io
+        from repro.trace import load_trace, save_trace
+        trace, _result = self._record()
+        buffer = io.StringIO()
+        save_trace(trace, buffer)
+        buffer.seek(0)
+        loaded = load_trace(buffer)
+        assert loaded.total_ops == trace.total_ops
