@@ -15,6 +15,8 @@ Public API highlights:
   the paper's five ('lh', 'li', 'lu', 'ei', 'eu'), the Ivy-style
   sequentially-consistent baseline ('sc'), or Midway-style entry
   consistency ('ec');
+- :mod:`repro.obs` — the unified metrics registry and event tracer
+  every run carries (see ``docs/observability.md``);
 - :mod:`repro.trace` — record, persist, and replay operation traces.
 """
 
@@ -22,14 +24,18 @@ from repro.core import (DsmApi, Machine, MachineConfig, NetworkConfig,
                         NodeMetrics, OverheadConfig, RunResult, run_app,
                         run_protocols, sequential_baseline,
                         speedup_curve)
+from repro.obs import (JsonlSink, MemorySink, MetricsRegistry,
+                       Observability, Tracer, read_jsonl)
 from repro.protocols import (ALL_PROTOCOL_NAMES, PROTOCOL_NAMES,
                              create_protocol)
 
 __version__ = "1.0.0"
 
 __all__ = [
-    "ALL_PROTOCOL_NAMES", "DsmApi", "Machine", "MachineConfig",
-    "NetworkConfig", "NodeMetrics", "OverheadConfig", "PROTOCOL_NAMES",
-    "RunResult", "create_protocol", "run_app", "run_protocols",
-    "sequential_baseline", "speedup_curve", "__version__",
+    "ALL_PROTOCOL_NAMES", "DsmApi", "JsonlSink", "Machine",
+    "MachineConfig", "MemorySink", "MetricsRegistry", "NetworkConfig",
+    "NodeMetrics", "Observability", "OverheadConfig", "PROTOCOL_NAMES",
+    "RunResult", "Tracer", "create_protocol", "read_jsonl", "run_app",
+    "run_protocols", "sequential_baseline", "speedup_curve",
+    "__version__",
 ]

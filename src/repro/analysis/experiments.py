@@ -110,8 +110,13 @@ def protocol_sweep(app: str, network: NetworkConfig,
                     base_config.replace(nprocs=nprocs, network=network),
                     protocol=protocol)
             curve.speedup[nprocs] = result.speedup_over(baseline)
-            curve.messages[nprocs] = result.total_messages
-            curve.data_kbytes[nprocs] = result.data_kbytes
+            # Message/data series come from the metrics registry
+            # (``dsm.messages_total`` / ``dsm.data_bytes_total``; see
+            # docs/observability.md).
+            curve.messages[nprocs] = int(
+                result.metric_total("dsm.messages_total"))
+            curve.data_kbytes[nprocs] = \
+                result.metric_total("dsm.data_bytes_total") / 1024.0
             curve.results[nprocs] = result
         curves[protocol] = curve
     return FigureResult(figure="", title="", app=app, curves=curves,
@@ -316,6 +321,7 @@ def sync_message_fraction(app: str, protocol: str = "lh",
                      MachineConfig(nprocs=nprocs,
                                    network=NetworkConfig.atm()),
                      protocol=protocol)
-    if result.total_messages == 0:
+    total = result.metric_total("dsm.messages_total")
+    if total == 0:
         return 0.0
-    return result.sync_messages / result.total_messages
+    return result.registry_sync_messages() / total

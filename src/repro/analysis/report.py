@@ -53,3 +53,10 @@ def paper_vs_measured(label: str, paper: Optional[float],
     paper_text = f"{paper:.2f}" if paper is not None else "n/a"
     return (f"{label:<32s} paper={paper_text:>8s} "
             f"measured={measured:8.2f}")
+
+
+def format_metrics_table(registry, skip_empty: bool = True) -> str:
+    """Render a run's :class:`repro.obs.MetricsRegistry` as a text
+    table (the ``repro stats --format table`` view).  ``skip_empty``
+    drops metrics that never recorded anything."""
+    return registry.as_text(skip_empty=skip_empty)

@@ -45,8 +45,14 @@ def _run(machine: Machine, worker) -> None:
     machine.run(lambda p: worker(DsmApi(machine.nodes[p]), p))
 
 
+def _net_messages(machine: Machine) -> int:
+    """Current network message count, read from the metrics registry
+    (see docs/observability.md: ``net.messages_total``)."""
+    return int(machine.obs.registry.total("net.messages_total"))
+
+
 def _messages_between(machine: Machine, start: int) -> int:
-    return machine.network.stats.messages - start
+    return _net_messages(machine) - start
 
 
 def measure_access_miss(protocol: str, modifiers: int = 1) -> int:
@@ -69,7 +75,7 @@ def measure_access_miss(protocol: str, modifiers: int = 1) -> int:
             # Let other nodes' departure-time traffic drain first so
             # the window only sees this miss.
             yield from api.compute(1_000_000)
-            start = machine.network.stats.messages
+            start = _net_messages(machine)
             yield from api.read(seg, 0)
             counter["miss_messages"] = _messages_between(machine, start)
         else:
@@ -97,7 +103,7 @@ def measure_lock_transfer(protocol: str) -> int:
             yield from api.release(1)
         yield from api.barrier(0)
         if proc == 3:
-            start = machine.network.stats.messages
+            start = _net_messages(machine)
             yield from api.acquire(1)
             counter["messages"] = _messages_between(machine, start)
             yield from api.release(1)
@@ -123,7 +129,7 @@ def measure_unlock(protocol: str, cachers: int = 2) -> int:
         if proc == 0:
             yield from api.acquire(0)  # owned locally: no messages
             yield from api.write(seg, 1, 42.0)
-            start = machine.network.stats.messages
+            start = _net_messages(machine)
             yield from api.release(0)
             counter["messages"] = _messages_between(machine, start)
         else:
@@ -141,9 +147,8 @@ def measure_barrier(protocol: str, nprocs: int = 4,
     neighbour caches (exposing the update-push terms u / 2u and EI's
     merge term v).  Counted as the per-episode delta between a run
     with two barriers and one with a single barrier."""
-    from repro.net.message import MsgKind
 
-    def total_by_kind(nbarriers: int) -> Dict[MsgKind, int]:
+    def total_by_kind(nbarriers: int) -> Dict[str, int]:
         machine = _machine(protocol, nprocs=nprocs)
         words = machine.config.words_per_page
         seg = machine.allocate("pages", words * nprocs, owner="striped")
@@ -163,18 +168,21 @@ def measure_barrier(protocol: str, nprocs: int = 4,
         def factory(p):
             return worker(DsmApi(machine.nodes[p]), p)
         result = machine.run(factory)
-        return result.messages_by_kind()
+        # Per-kind counts from the metrics registry; keys are the
+        # ``msg_type`` label values of ``dsm.messages_total``.
+        by_type = result.metric_by("dsm.messages_total", "msg_type")
+        return {kind: int(count) for kind, count in by_type.items()}
 
     two = total_by_kind(2)
     one = total_by_kind(1)
-    delta = {kind.value: two.get(kind, 0) - one.get(kind, 0)
+    delta = {kind: two.get(kind, 0) - one.get(kind, 0)
              for kind in set(two) | set(one)
              if two.get(kind, 0) != one.get(kind, 0)}
     delta["total"] = sum(v for k, v in delta.items() if k != "total")
-    delta["sync"] = (two.get(MsgKind.BARRIER_ARRIVE, 0)
-                     - one.get(MsgKind.BARRIER_ARRIVE, 0)
-                     + two.get(MsgKind.BARRIER_DEPART, 0)
-                     - one.get(MsgKind.BARRIER_DEPART, 0))
+    delta["sync"] = (two.get("barrier_arrive", 0)
+                     - one.get("barrier_arrive", 0)
+                     + two.get("barrier_depart", 0)
+                     - one.get("barrier_depart", 0))
     return delta
 
 

@@ -6,6 +6,7 @@ Examples::
     python -m repro compare water --procs 16
     python -m repro sweep jacobi --protocol lh --procs 1,2,4,8,16
     python -m repro networks --app jacobi
+    python -m repro stats jacobi --protocol li --network atm
     python -m repro report EXPERIMENTS.md
 """
 
@@ -100,6 +101,35 @@ def cmd_networks(args) -> int:
     return 0
 
 
+def cmd_stats(args) -> int:
+    """Run one application and dump its metrics registry (JSON by
+    default, or a text table), optionally tracing to a JSONL file."""
+    from repro.obs import JsonlSink, Observability, Tracer
+
+    obs = None
+    if args.trace:
+        obs = Observability(tracer=Tracer(JsonlSink(args.trace)))
+    result = run_app(_app(args), _config(args), protocol=args.protocol,
+                     obs=obs)
+    if obs is not None:
+        obs.close()
+    registry = result.registry
+    if args.format == "json":
+        text = registry.as_json(indent=2)
+    else:
+        from repro.analysis.report import format_metrics_table
+        text = format_metrics_table(registry)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    if args.trace:
+        print(f"trace written to {args.trace}", file=sys.stderr)
+    return 0
+
+
 def cmd_report(args) -> int:
     """Regenerate the full EXPERIMENTS.md report."""
     from repro.analysis.generate_report import generate
@@ -153,6 +183,16 @@ def build_parser() -> argparse.ArgumentParser:
     common(p_net, with_app=False)
     p_net.add_argument("--app", choices=APP_NAMES, default="jacobi")
     p_net.set_defaults(func=cmd_networks)
+
+    p_stats = sub.add_parser("stats", help=cmd_stats.__doc__)
+    common(p_stats)
+    p_stats.add_argument("--format", choices=["json", "table"],
+                         default="json")
+    p_stats.add_argument("--output", default=None,
+                         help="write the dump to a file")
+    p_stats.add_argument("--trace", default=None, metavar="FILE",
+                         help="also record a JSONL event trace")
+    p_stats.set_defaults(func=cmd_stats)
 
     p_rep = sub.add_parser("report", help=cmd_report.__doc__)
     p_rep.add_argument("output", nargs="?", default="EXPERIMENTS.md")

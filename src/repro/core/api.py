@@ -95,7 +95,12 @@ class DsmApi:
         node = self._node
         started = node.sim.now
         yield from node.lock_manager.acquire(lock_id)
-        node.metrics.lock_wait_cycles += node.sim.now - started
+        waited = node.sim.now - started
+        node.metrics.lock_wait_cycles += waited
+        node.ins.lock_wait.observe(waited)
+        if node.tracer:
+            node.tracer.emit("sync.lock_acquired", lock=lock_id,
+                             node=node.proc, wait_cycles=waited)
 
     def release(self, lock_id: int) -> Generator:
         yield from self._node.lock_manager.release(lock_id)

@@ -12,6 +12,7 @@ from repro.core.node import Node
 from repro.mem.addressing import AddressSpace, Segment
 from repro.net import build_network
 from repro.net.message import Message
+from repro.obs import Observability
 from repro.sim.engine import SimulationError, Simulator
 
 
@@ -27,7 +28,8 @@ class Machine:
 
     def __init__(self, config: MachineConfig, protocol: str = "lh",
                  protocol_options: Optional[dict] = None,
-                 lock_broadcast: bool = False) -> None:
+                 lock_broadcast: bool = False,
+                 obs: Optional[Observability] = None) -> None:
         from repro.protocols.registry import create_protocol
         from repro.sync.barriers import BarrierManager
         from repro.sync.locks import LockManager
@@ -36,8 +38,20 @@ class Machine:
         self.protocol_name = protocol
         self.lock_broadcast = lock_broadcast
         self.sim = Simulator()
+        # Observability: registry + tracer threaded through every
+        # layer (sim, net, nodes, protocols, sync).  Callers may pass
+        # their own context (e.g. with a JSONL trace sink attached).
+        self.obs = obs if obs is not None else Observability()
+        self.obs.bind_clock(lambda: self.sim.now)
+        self.obs.registry.const_labels.update({
+            "protocol": protocol,
+            "network": config.network.kind,
+            "nprocs": str(config.nprocs),
+        })
+        self.sim.attach_obs(self.obs)
         self.network = build_network(self.sim, config)
         self.network.attach(self._deliver)
+        self.network.attach_obs(self.obs)
         self.address_space = AddressSpace(config.words_per_page)
         self._page_owner_override: Dict[int, int] = {}
 
@@ -156,6 +170,7 @@ class Machine:
         ``proc * threads + thread``)."""
         if threads_per_proc < 1:
             raise ValueError("threads_per_proc must be >= 1")
+        self.obs.registry.const_labels["app"] = app
         nworkers = self.config.nprocs * threads_per_proc
         self._finished = [None] * nworkers
         self._app_results = [None] * nworkers
@@ -199,6 +214,7 @@ class Machine:
             network_contention_cycles=(
                 self.network.stats.contention_cycles),
             app_result=list(self._app_results),
+            registry=self.obs.registry,
         )
 
     def _wrap_worker(self, proc: int,

@@ -69,6 +69,9 @@ class RunResult:
     network_bytes: int
     network_contention_cycles: float
     app_result: object = None
+    #: The run's metrics registry (repro.obs) — the documented stats
+    #: schema behind the analysis drivers and ``repro stats``.
+    registry: object = None
 
     @property
     def total_messages(self) -> int:
@@ -104,6 +107,31 @@ class RunResult:
         for metrics in self.node_metrics:
             total.update(metrics.messages_sent)
         return dict(total)
+
+    # -- registry readers (repro.obs) ----------------------------------
+
+    def _require_registry(self):
+        if self.registry is None:
+            raise ValueError(
+                "this RunResult carries no metrics registry "
+                "(constructed outside Machine.run)")
+        return self.registry
+
+    def metric_total(self, name: str) -> float:
+        """Total of one registry metric across every series."""
+        return self._require_registry().total(name)
+
+    def metric_by(self, name: str, label: str) -> Dict[str, float]:
+        """One registry metric's totals grouped by a label."""
+        return self._require_registry().by_label(name, label)
+
+    def registry_sync_messages(self) -> float:
+        """Synchronization traffic per the registry (messages whose
+        ``msg_type`` is a lock or barrier kind)."""
+        from repro.obs import SYNC_MSG_TYPES
+        by_type = self.metric_by("dsm.messages_total", "msg_type")
+        return sum(count for kind, count in by_type.items()
+                   if kind in SYNC_MSG_TYPES)
 
     def time_breakdown(self) -> Dict[str, float]:
         """Where processor time went, as fractions of total busy+wait

@@ -40,6 +40,12 @@ class Node:
         self.sim: Simulator = machine.sim
         self.config: MachineConfig = machine.config
         self.metrics = NodeMetrics(proc=proc)
+        # Observability: pre-bound registry children (repro.obs) and
+        # the machine's tracer.  Every legacy NodeMetrics increment is
+        # mirrored into the registry at the same site; the parity test
+        # in tests/obs keeps the two accountings identical.
+        self.ins = machine.obs.node_instruments(proc)
+        self.tracer = machine.obs.tracer
 
         # DSM state.
         self.pagetable = PageTable(self.config.words_per_page)
@@ -108,6 +114,7 @@ class Node:
         if cycles < 0:
             raise ValueError(f"negative compute: {cycles}")
         self.metrics.compute_cycles += cycles
+        self.ins.compute_cycles.inc(cycles)
         if cycles == 0:
             return
         if self.multithreaded:
@@ -132,6 +139,7 @@ class Node:
         Counted as overhead, not computation."""
         if cycles > 0:
             self.metrics.overhead_cycles += cycles
+            self.ins.overhead_cycles.inc(cycles)
             yield self.sim.timeout(cycles)
 
     def handler_charge(self, cycles: float) -> float:
@@ -142,6 +150,7 @@ class Node:
         self._handler_busy_until = end
         self._interrupt_cycles += cycles
         self.metrics.overhead_cycles += cycles
+        self.ins.overhead_cycles.inc(cycles)
         return end
 
     # -- message costs -----------------------------------------------------
@@ -160,6 +169,12 @@ class Node:
         overhead inline, then hands the message to the network."""
         self._stamp(message)
         self.metrics.record_send(message)
+        self.ins.record_send(message)
+        if self.tracer:
+            self.tracer.emit("msg.send", src=message.src,
+                             dst=message.dst, kind=message.kind.value,
+                             data_bytes=message.data_bytes,
+                             context="app")
         yield from self.app_charge(self._message_overhead(message))
         self.machine.network.transmit(message)
 
@@ -168,6 +183,12 @@ class Node:
         handler-busy window and transmission starts when it ends."""
         self._stamp(message)
         self.metrics.record_send(message)
+        self.ins.record_send(message)
+        if self.tracer:
+            self.tracer.emit("msg.send", src=message.src,
+                             dst=message.dst, kind=message.kind.value,
+                             data_bytes=message.data_bytes,
+                             context="handler")
         ready = self.handler_charge(self._message_overhead(message))
         self.sim.schedule(ready - self.sim.now,
                           self.machine.network.transmit, message)
@@ -212,6 +233,10 @@ class Node:
         if message.dst != self.proc:
             raise SimulationError(
                 f"node {self.proc} received message for {message.dst}")
+        if self.tracer:
+            self.tracer.emit("msg.recv", src=message.src,
+                             dst=message.dst, kind=message.kind.value,
+                             data_bytes=message.data_bytes)
         done = self.handler_charge(self._message_overhead(message))
         self.sim.schedule(done - self.sim.now, self._dispatch, message)
 

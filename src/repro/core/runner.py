@@ -22,11 +22,17 @@ from repro.core.metrics import RunResult
 def run_app(app, config: MachineConfig, protocol: str = "lh",
             max_events: Optional[int] = None,
             protocol_options: Optional[dict] = None,
-            lock_broadcast: bool = False) -> RunResult:
-    """Simulate ``app`` on a machine described by ``config``."""
+            lock_broadcast: bool = False,
+            obs=None) -> RunResult:
+    """Simulate ``app`` on a machine described by ``config``.
+
+    ``obs`` optionally supplies a pre-built
+    :class:`repro.obs.Observability` context (e.g. one carrying a JSONL
+    trace sink); by default the machine creates its own."""
     machine = Machine(config, protocol=protocol,
                       protocol_options=protocol_options,
-                      lock_broadcast=lock_broadcast)
+                      lock_broadcast=lock_broadcast,
+                      obs=obs)
     shared = app.setup(machine)
 
     def factory(proc: int):

@@ -24,6 +24,12 @@ class AtmNetwork(Network):
         nprocs = config.nprocs
         self._out_free = [0.0] * nprocs
         self._in_free = [0.0] * nprocs
+        self._obs_port_contention = None
+
+    def attach_obs(self, obs) -> None:
+        super().attach_obs(obs)
+        self._obs_port_contention = obs.registry.get(
+            "net.port_contention_total")
 
     def _schedule(self, message: Message) -> float:
         now = self.sim.now
@@ -31,6 +37,8 @@ class AtmNetwork(Network):
         start = max(now, self._out_free[message.src],
                     self._in_free[message.dst])
         waited = start - now
+        if waited > 0 and self._obs_port_contention is not None:
+            self._obs_port_contention.inc()
         end = start + wire
         self._out_free[message.src] = end
         self._in_free[message.dst] = end

@@ -19,7 +19,11 @@ from repro.sim.engine import Simulator
 
 @dataclass
 class NetworkStats:
-    """Aggregate traffic and contention accounting."""
+    """Aggregate traffic and contention accounting.
+
+    When observability is attached (see :meth:`Network.attach_obs`)
+    every record is mirrored into the metrics registry under the
+    ``net.*`` names documented in docs/observability.md."""
 
     messages: int = 0
     bytes_sent: int = 0
@@ -27,6 +31,19 @@ class NetworkStats:
     busy_cycles: float = 0.0
     contention_cycles: float = 0.0
     collisions: int = 0
+    _obs: Optional[dict] = field(default=None, repr=False,
+                                 compare=False)
+
+    def attach_obs(self, obs) -> None:
+        registry = obs.registry
+        self._obs = {
+            "messages": registry.get("net.messages_total"),
+            "wire_bytes": registry.get("net.wire_bytes_total"),
+            "data_bytes": registry.get("net.data_bytes_total"),
+            "wire_cycles": registry.get("net.wire_cycles_total"),
+            "contention": registry.get("net.contention_cycles_total"),
+            "wire_hist": registry.get("net.wire_cycles"),
+        }
 
     def record(self, message: Message, wire: float, waited: float) -> None:
         self.messages += 1
@@ -34,6 +51,14 @@ class NetworkStats:
         self.data_bytes_sent += message.data_bytes
         self.busy_cycles += wire
         self.contention_cycles += waited
+        obs = self._obs
+        if obs is not None:
+            obs["messages"].inc()
+            obs["wire_bytes"].inc(message.size_bytes)
+            obs["data_bytes"].inc(message.data_bytes)
+            obs["wire_cycles"].inc(wire)
+            obs["contention"].inc(waited)
+            obs["wire_hist"].observe(wire)
 
 
 class Network(ABC):
@@ -49,6 +74,12 @@ class Network(ABC):
     def attach(self, deliver: Callable[[Message], None]) -> None:
         """Register the machine-level delivery callback."""
         self._deliver = deliver
+
+    def attach_obs(self, obs) -> None:
+        """Mirror traffic stats into the metrics registry.  Subclasses
+        extend this with their model-specific metrics (collisions,
+        backoff, port contention)."""
+        self.stats.attach_obs(obs)
 
     def wire_cycles(self, message: Message) -> float:
         return self.config.wire_cycles(message.size_bytes)

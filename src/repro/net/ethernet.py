@@ -31,6 +31,13 @@ class EthernetNetwork(Network):
         self._free_at = 0.0
         self._queued = 0
         self._rng = random.Random(config.seed ^ 0xE7E7)
+        self._obs_collisions = None
+        self._obs_backoff = None
+
+    def attach_obs(self, obs) -> None:
+        super().attach_obs(obs)
+        self._obs_collisions = obs.registry.get("net.collisions_total")
+        self._obs_backoff = obs.registry.get("net.backoff_cycles_total")
 
     def _schedule(self, message: Message) -> float:
         now = self.sim.now
@@ -48,6 +55,9 @@ class EthernetNetwork(Network):
             start += backoff
             waited += backoff
             self.stats.collisions += 1
+            if self._obs_collisions is not None:
+                self._obs_collisions.inc()
+                self._obs_backoff.inc(backoff)
         elif start <= now:
             self._queued = 0
         end = start + wire

@@ -1,0 +1,112 @@
+"""repro.obs — unified metrics and tracing for the DSM simulator.
+
+One :class:`Observability` context travels with each simulated
+machine: a :class:`MetricsRegistry` (the documented stats schema, see
+``docs/observability.md``), a :class:`Tracer` with pluggable sinks,
+and simulated-time :class:`Span` timers.  Every layer emits into it —
+the event kernel, the network models, the per-node protocol engines,
+and the lock/barrier managers — and the analysis drivers, the ``repro
+stats`` CLI subcommand, and the report generator read from it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.obs.catalog import (CATALOG, CATALOG_BY_NAME, MetricSpec,
+                               SYNC_MSG_TYPES, install_catalog)
+from repro.obs.registry import (DEFAULT_BUCKETS, Metric, MetricError,
+                                MetricsRegistry)
+from repro.obs.timers import Span
+from repro.obs.tracer import (JsonlSink, MemorySink, NullSink,
+                              TraceEvent, TraceSink, Tracer,
+                              read_jsonl)
+
+__all__ = [
+    "CATALOG", "CATALOG_BY_NAME", "DEFAULT_BUCKETS", "JsonlSink",
+    "MemorySink", "Metric", "MetricError", "MetricSpec",
+    "MetricsRegistry", "NodeInstruments", "NullSink", "Observability",
+    "SYNC_MSG_TYPES", "Span", "TraceEvent", "TraceSink", "Tracer",
+    "install_catalog", "read_jsonl",
+]
+
+
+class NodeInstruments:
+    """Pre-bound registry children for one node's hot paths.
+
+    Binding the (node,) label once at construction keeps per-event
+    emission down to an attribute access plus an addition.
+    """
+
+    __slots__ = ("node_label", "messages", "data_bytes", "wire_bytes",
+                 "read_misses", "write_misses", "cold_misses",
+                 "page_transfers", "diffs_created", "diff_words",
+                 "diffs_applied", "invalidations", "notices_created",
+                 "notices_received", "miss_wait", "lock_acquires",
+                 "lock_local_acquires", "lock_wait", "barrier_waits",
+                 "barrier_wait", "compute_cycles", "overhead_cycles")
+
+    def __init__(self, registry: MetricsRegistry, proc: int) -> None:
+        node = str(proc)
+        self.node_label = node
+
+        def bound(name):
+            return registry.get(name).labels(node=node)
+
+        self.messages = registry.get("dsm.messages_total")
+        self.data_bytes = bound("dsm.data_bytes_total")
+        self.wire_bytes = bound("dsm.wire_bytes_total")
+        self.read_misses = bound("dsm.read_misses_total")
+        self.write_misses = bound("dsm.write_misses_total")
+        self.cold_misses = bound("dsm.cold_misses_total")
+        self.page_transfers = bound("dsm.page_transfers_total")
+        self.diffs_created = bound("dsm.diffs_created_total")
+        self.diff_words = bound("dsm.diff_words_total")
+        self.diffs_applied = bound("dsm.diffs_applied_total")
+        self.invalidations = bound("dsm.invalidations_total")
+        self.notices_created = bound("dsm.write_notices_created_total")
+        self.notices_received = bound("dsm.write_notices_received_total")
+        self.miss_wait = bound("dsm.miss_wait_cycles")
+        self.lock_acquires = bound("sync.lock_acquires_total")
+        self.lock_local_acquires = bound("sync.lock_local_acquires_total")
+        self.lock_wait = bound("sync.lock_wait_cycles")
+        self.barrier_waits = bound("sync.barrier_waits_total")
+        self.barrier_wait = bound("sync.barrier_wait_cycles")
+        self.compute_cycles = bound("cpu.compute_cycles_total")
+        self.overhead_cycles = bound("cpu.overhead_cycles_total")
+
+    def record_send(self, message) -> None:
+        """Mirror of :meth:`NodeMetrics.record_send` into the registry."""
+        self.messages.labels(node=self.node_label,
+                             msg_type=message.kind.value).inc()
+        self.data_bytes.inc(message.data_bytes)
+        self.wire_bytes.inc(message.size_bytes)
+
+
+class Observability:
+    """Registry + tracer + simulated clock for one machine."""
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None,
+                 tracer: Optional[Tracer] = None,
+                 clock: Optional[Callable[[], float]] = None) -> None:
+        self.registry = registry if registry is not None \
+            else MetricsRegistry()
+        self.tracer = tracer or Tracer()
+        self.clock = clock or (lambda: 0.0)
+        self.tracer.clock = self.clock
+        install_catalog(self.registry)
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        """Point registry spans and the tracer at the sim clock."""
+        self.clock = clock
+        self.tracer.clock = clock
+
+    def node_instruments(self, proc: int) -> NodeInstruments:
+        return NodeInstruments(self.registry, proc)
+
+    def span(self, name: str, histogram=None, **fields) -> Span:
+        return Span(self.clock, name, histogram=histogram,
+                    tracer=self.tracer, **fields)
+
+    def close(self) -> None:
+        self.tracer.close()

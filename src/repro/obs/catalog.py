@@ -1,0 +1,162 @@
+"""The metrics catalogue: every standard metric the simulator emits.
+
+Each :class:`MetricSpec` names one metric, its type, unit, label set,
+and the paper artifact(s) that consume it.  ``docs/observability.md``
+renders this catalogue for humans; ``tests/docs`` asserts the two stay
+in sync, and the parity test in ``tests/obs`` asserts the registry
+totals agree with the legacy per-node counters bit-for-bit.
+
+Naming convention: ``<layer>.<quantity>[_total]`` — ``_total`` marks a
+monotonic counter; histograms and gauges drop the suffix.  Layers:
+
+- ``sim``  — the discrete-event kernel,
+- ``net``  — the wire (Ethernet / ATM / ideal),
+- ``dsm``  — per-node protocol activity (misses, diffs, notices),
+- ``sync`` — locks and barriers,
+- ``cpu``  — where processor cycles went.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+COUNTER = "counter"
+GAUGE = "gauge"
+HISTOGRAM = "histogram"
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """Static description of one metric."""
+
+    name: str
+    kind: str
+    unit: str
+    description: str
+    labels: Tuple[str, ...] = ()
+    consumers: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in (COUNTER, GAUGE, HISTOGRAM):
+            raise ValueError(f"bad metric kind {self.kind!r}")
+
+
+def _spec(name, kind, unit, description, labels=(), consumers=()):
+    return MetricSpec(name=name, kind=kind, unit=unit,
+                      description=description, labels=tuple(labels),
+                      consumers=tuple(consumers))
+
+
+#: Every standard metric, in catalogue order.
+CATALOG: Tuple[MetricSpec, ...] = (
+    # -- sim -----------------------------------------------------------
+    _spec("sim.events_dispatched_total", COUNTER, "events",
+          "Callbacks run by the discrete-event loop.",
+          consumers=("diagnostics",)),
+    _spec("sim.queue_depth_peak", GAUGE, "events",
+          "Peak length of the pending-event heap.",
+          consumers=("diagnostics",)),
+    # -- net -----------------------------------------------------------
+    _spec("net.messages_total", COUNTER, "messages",
+          "Messages accepted by the network.",
+          consumers=("Table 1", "Figs 8/11/14/17")),
+    _spec("net.wire_bytes_total", COUNTER, "bytes",
+          "Total bytes on the wire (headers + shared data)."),
+    _spec("net.data_bytes_total", COUNTER, "bytes",
+          "Shared-data bytes on the wire (diffs and pages only).",
+          consumers=("Figs 9/12/15/18",)),
+    _spec("net.wire_cycles_total", COUNTER, "cycles",
+          "Cycles the medium (or a port pair) was busy serializing."),
+    _spec("net.contention_cycles_total", COUNTER, "cycles",
+          "Cycles messages waited for the medium or a port.",
+          consumers=("Section 6.1", "Table 2")),
+    _spec("net.wire_cycles", HISTOGRAM, "cycles",
+          "Per-message serialization time."),
+    _spec("net.collisions_total", COUNTER, "collisions",
+          "Ethernet CSMA/CD collision episodes.",
+          consumers=("Section 6.1",)),
+    _spec("net.backoff_cycles_total", COUNTER, "cycles",
+          "Ethernet binary-exponential-backoff penalty cycles.",
+          consumers=("Section 6.1",)),
+    _spec("net.port_contention_total", COUNTER, "messages",
+          "ATM messages that waited for a busy input/output port."),
+    # -- dsm -----------------------------------------------------------
+    _spec("dsm.messages_total", COUNTER, "messages",
+          "Messages sent, by sending node and message type.",
+          labels=("node", "msg_type"),
+          consumers=("Table 1", "Figs 8/11/14/17", "Section 6.2")),
+    _spec("dsm.data_bytes_total", COUNTER, "bytes",
+          "Shared-data bytes sent per node.", labels=("node",),
+          consumers=("Figs 9/12/15/18",)),
+    _spec("dsm.wire_bytes_total", COUNTER, "bytes",
+          "Wire bytes (headers included) sent per node.",
+          labels=("node",)),
+    _spec("dsm.read_misses_total", COUNTER, "misses",
+          "Access misses on reads.", labels=("node",),
+          consumers=("Section 6.2",)),
+    _spec("dsm.write_misses_total", COUNTER, "misses",
+          "Access misses on writes.", labels=("node",),
+          consumers=("Section 6.2",)),
+    _spec("dsm.cold_misses_total", COUNTER, "misses",
+          "Misses on pages never cached locally.", labels=("node",)),
+    _spec("dsm.page_transfers_total", COUNTER, "pages",
+          "Whole-page copies received.", labels=("node",),
+          consumers=("Figs 9/12/15/18",)),
+    _spec("dsm.diffs_created_total", COUNTER, "diffs",
+          "Diffs created at interval seals.", labels=("node",),
+          consumers=("Section 6.2", "Table 5")),
+    _spec("dsm.diff_words_total", COUNTER, "words",
+          "Words captured in created diffs.", labels=("node",)),
+    _spec("dsm.diffs_applied_total", COUNTER, "diffs",
+          "Diffs received and stored from peers.", labels=("node",)),
+    _spec("dsm.invalidations_total", COUNTER, "invalidations",
+          "Page copies invalidated by write notices or flushes.",
+          labels=("node",)),
+    _spec("dsm.write_notices_created_total", COUNTER, "notices",
+          "Write notices created at interval seals.",
+          labels=("node",)),
+    _spec("dsm.write_notices_received_total", COUNTER, "notices",
+          "Write notices incorporated from peers.", labels=("node",)),
+    _spec("dsm.miss_wait_cycles", HISTOGRAM, "cycles",
+          "Full stall per access miss (messages + remote service).",
+          labels=("node",), consumers=("Section 6.2",)),
+    # -- sync ----------------------------------------------------------
+    _spec("sync.lock_acquires_total", COUNTER, "acquires",
+          "Lock acquisitions (remote and local).", labels=("node",),
+          consumers=("Table 1", "Section 6.2")),
+    _spec("sync.lock_local_acquires_total", COUNTER, "acquires",
+          "Acquisitions satisfied by a locally cached token.",
+          labels=("node",), consumers=("Section 6.2",)),
+    _spec("sync.lock_wait_cycles", HISTOGRAM, "cycles",
+          "Stall per lock acquisition.", labels=("node",),
+          consumers=("Section 6.2",)),
+    _spec("sync.barrier_waits_total", COUNTER, "episodes",
+          "Barrier episodes completed.", labels=("node",),
+          consumers=("Table 1",)),
+    _spec("sync.barrier_wait_cycles", HISTOGRAM, "cycles",
+          "Stall per barrier episode.", labels=("node",),
+          consumers=("Section 6.1", "Section 6.2")),
+    # -- cpu -----------------------------------------------------------
+    _spec("cpu.compute_cycles_total", COUNTER, "cycles",
+          "Application computation charged.", labels=("node",),
+          consumers=("Table 3", "Table 4")),
+    _spec("cpu.overhead_cycles_total", COUNTER, "cycles",
+          "Software overhead (message handling + diffing).",
+          labels=("node",), consumers=("Table 3",)),
+)
+
+CATALOG_BY_NAME: Dict[str, MetricSpec] = {spec.name: spec
+                                          for spec in CATALOG}
+
+#: ``dsm.messages_total`` msg_type label values that count as
+#: synchronization traffic (mirrors ``MsgKind.is_synchronization``).
+SYNC_MSG_TYPES = frozenset({"lock_req", "lock_fwd", "lock_grant",
+                            "barrier_arrive", "barrier_depart"})
+
+
+def install_catalog(registry) -> None:
+    """Instantiate every catalogued metric on ``registry`` so a dump
+    lists the full schema even before any series is touched."""
+    for spec in CATALOG:
+        registry.from_spec(spec)

@@ -1,0 +1,140 @@
+"""Low-overhead structured event tracing with pluggable sinks.
+
+A :class:`Tracer` stamps every event with the *simulated* clock and
+hands it to its sink.  The disabled tracer (the default
+:class:`NullSink`) is free on the hot path: emission sites guard with
+``if tracer:`` and never even build the fields dict.
+
+Sinks:
+
+- :class:`NullSink`   — drop everything (default);
+- :class:`MemorySink` — keep events in a list (tests, analysis);
+- :class:`JsonlSink`  — append one JSON object per line to a file,
+  replayable with :func:`read_jsonl`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Union
+
+
+@dataclass
+class TraceEvent:
+    """One structured trace record."""
+
+    ts: float
+    name: str
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        record = {"ts": self.ts, "name": self.name}
+        for key, value in self.fields.items():
+            record[key] = _jsonable(value)
+        return json.dumps(record, sort_keys=False)
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    value_attr = getattr(value, "value", None)  # enums (MsgKind)
+    if isinstance(value_attr, (int, float, str)):
+        return value_attr
+    return str(value)
+
+
+class TraceSink:
+    """Sink interface; subclasses override :meth:`emit`."""
+
+    enabled = True
+
+    def emit(self, event: TraceEvent) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        pass
+
+
+class NullSink(TraceSink):
+    """Drops every event; marks the tracer disabled."""
+
+    enabled = False
+
+    def emit(self, event: TraceEvent) -> None:
+        pass
+
+
+class MemorySink(TraceSink):
+    """Keeps every event in ``self.events``."""
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+
+    def emit(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def named(self, name: str) -> List[TraceEvent]:
+        return [e for e in self.events if e.name == name]
+
+
+class JsonlSink(TraceSink):
+    """Appends one JSON line per event to ``path`` (or a file-like)."""
+
+    def __init__(self, path_or_file: Union[str, Any]) -> None:
+        if hasattr(path_or_file, "write"):
+            self._file = path_or_file
+            self._owns = False
+        else:
+            self._file = open(path_or_file, "w")
+            self._owns = True
+
+    def emit(self, event: TraceEvent) -> None:
+        self._file.write(event.to_json() + "\n")
+
+    def close(self) -> None:
+        self._file.flush()
+        if self._owns:
+            self._file.close()
+
+
+def read_jsonl(path: str) -> Iterator[TraceEvent]:
+    """Replay a JSONL trace file as :class:`TraceEvent` objects."""
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            ts = record.pop("ts")
+            name = record.pop("name")
+            yield TraceEvent(ts=ts, name=name, fields=record)
+
+
+class Tracer:
+    """Emission front-end: ``tracer.emit("msg.send", src=0, dst=1)``.
+
+    Truth-testing a tracer answers "is anyone listening?", so hot
+    paths write ``if tracer: tracer.emit(...)`` and skip the call (and
+    its keyword-dict construction) entirely when tracing is off.
+    """
+
+    def __init__(self, sink: Optional[TraceSink] = None,
+                 clock: Optional[Callable[[], float]] = None) -> None:
+        self.sink = sink or NullSink()
+        self.clock = clock or (lambda: 0.0)
+
+    @property
+    def enabled(self) -> bool:
+        return self.sink.enabled
+
+    def __bool__(self) -> bool:
+        return self.sink.enabled
+
+    def emit(self, name: str, **fields) -> None:
+        if self.sink.enabled:
+            self.sink.emit(TraceEvent(ts=self.clock(), name=name,
+                                      fields=fields))
+
+    def close(self) -> None:
+        self.sink.close()

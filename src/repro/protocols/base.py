@@ -128,11 +128,17 @@ class BaseProtocol:
             self.own_page_intervals.setdefault(page, []).append(index)
             node.metrics.diffs_created += 1
             node.metrics.diff_words_created += diff.word_count
+            node.ins.diffs_created.inc()
+            node.ins.diff_words.inc(diff.word_count)
             cost += node.diff_creation_cost()
         record = IntervalRecord(proc=node.proc, index=index, vc=node.vc,
                                 pages=frozenset(pending_ranges),
                                 pending_ranges=pending_ranges)
         node.interval_log.add(record)
+        node.ins.notices_created.inc(len(record.pages))
+        if node.tracer:
+            node.tracer.emit("protocol.seal", node=node.proc,
+                             interval=index, pages=len(record.pages))
         self.unpropagated[record.interval_id] = set(record.pages)
         return cost
 
@@ -181,6 +187,7 @@ class BaseProtocol:
             if record.interval_id in node.interval_log:
                 continue
             node.interval_log.add(record)
+            node.ins.notices_received.inc(len(record.pages))
             for notice in record.notices():
                 copy = node.pagetable.get(notice.page)
                 if copy is None:
@@ -202,6 +209,7 @@ class BaseProtocol:
         for (proc, index), diff in diffs:
             self.node.diff_store.put(proc, index, diff)
             self.node.metrics.diffs_applied += 1
+            self.node.ins.diffs_applied.inc()
 
     # ------------------------------------------------------------------
     # applying pending modifications
@@ -263,6 +271,7 @@ class BaseProtocol:
         if copy.valid:
             copy.valid = False
             self.node.metrics.invalidations += 1
+            self.node.ins.invalidations.inc()
 
     # ------------------------------------------------------------------
     # lazy access-miss machinery (shared by LI, LU, LH)
@@ -436,6 +445,7 @@ class BaseProtocol:
         copy.applied = dict(payload["applied"])
         copy.pending_notices = []
         node.metrics.page_transfers += 1
+        node.ins.page_transfers.inc()
         # Merge notices parked while we had no copy.
         for notice in self.orphan_notices.pop(page, ()):  # type: ignore
             copy.add_notice(notice)
@@ -565,6 +575,7 @@ class BaseProtocol:
             for diff in diffs:
                 node.diff_store.put(record.proc, record.index, diff)
                 node.metrics.diffs_applied += 1
+                node.ins.diffs_applied.inc()
                 if not node.pagetable.has_copy(diff.page):
                     not_cached.append(diff.page)
         touched = {diff.page

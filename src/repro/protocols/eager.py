@@ -63,10 +63,13 @@ class EagerBase(BaseProtocol):
         started = node.sim.now
         if for_write:
             node.metrics.write_misses += 1
+            node.ins.write_misses.inc()
         else:
             node.metrics.read_misses += 1
+            node.ins.read_misses.inc()
         if copy is None:
             node.metrics.cold_misses += 1
+            node.ins.cold_misses.inc()
         owner = node.page_owner(page)
         if owner == node.proc:
             raise ProtocolError(
@@ -83,6 +86,7 @@ class EagerBase(BaseProtocol):
             fresh.applied = dict(reply.payload["applied"])
             fresh.pending_notices = []
             node.metrics.page_transfers += 1
+            node.ins.page_transfers.inc()
             node.copysets.add_many(page, reply.payload["copyset"])
             node.copysets.add(page, node.proc)
             # Our own not-yet-flushed modifications are not at the home
@@ -105,7 +109,9 @@ class EagerBase(BaseProtocol):
             # the reply overtook the flusher's home update.  Retry.
             fresh.valid = False
             self._poison_records.setdefault(page, []).extend(unmet)
-        node.metrics.miss_wait_cycles += node.sim.now - started
+        waited = node.sim.now - started
+        node.metrics.miss_wait_cycles += waited
+        node.ins.miss_wait.observe(waited)
 
     def _reapply_unpropagated(self, page: int, copy) -> None:
         node = self.node
@@ -271,6 +277,7 @@ class EagerBase(BaseProtocol):
                 copy.mark_applied(record.proc, record.index)
                 node.diff_store.put(record.proc, record.index, diff)
                 node.metrics.diffs_applied += 1
+                node.ins.diffs_applied.inc()
             else:
                 # EI invalidation notice.
                 if copy is None:

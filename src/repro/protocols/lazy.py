@@ -50,12 +50,17 @@ class LazyBase(BaseProtocol):
         started = node.sim.now
         if for_write:
             node.metrics.write_misses += 1
+            node.ins.write_misses.inc()
         else:
             node.metrics.read_misses += 1
+            node.ins.read_misses.inc()
         if copy is None:
             node.metrics.cold_misses += 1
+            node.ins.cold_misses.inc()
         yield from self.lazy_miss(page)
-        node.metrics.miss_wait_cycles += node.sim.now - started
+        waited = node.sim.now - started
+        node.metrics.miss_wait_cycles += waited
+        node.ins.miss_wait.observe(waited)
 
     def fetch_pending(self, page: int) -> Generator:
         """Obtain and apply every pending diff for ``page`` (LU's

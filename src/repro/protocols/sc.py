@@ -97,10 +97,13 @@ class SequentialInvalidate(BaseProtocol):
         started = node.sim.now
         if for_write:
             node.metrics.write_misses += 1
+            node.ins.write_misses.inc()
         else:
             node.metrics.read_misses += 1
+            node.ins.read_misses.inc()
         if node.pagetable.get(page) is None:
             node.metrics.cold_misses += 1
+            node.ins.cold_misses.inc()
         while True:
             manager = node.page_owner(page)
             if manager == node.proc:
@@ -121,7 +124,9 @@ class SequentialInvalidate(BaseProtocol):
                 break
             # An interleaved transaction snatched the page back
             # between our grant and our access: fault again.
-        node.metrics.miss_wait_cycles += node.sim.now - started
+        waited = node.sim.now - started
+        node.metrics.miss_wait_cycles += waited
+        node.ins.miss_wait.observe(waited)
 
     def record_write(self, page: int, start: int, end: int) -> None:
         if self._local_mode(page) != WRITE:
@@ -292,12 +297,14 @@ class SequentialInvalidate(BaseProtocol):
         node.pagetable.install(page, values=answer.payload["values"],
                                valid=True)
         node.metrics.page_transfers += 1
+        node.ins.page_transfers.inc()
 
     def _drop_local(self, page: int) -> None:
         copy = self.node.pagetable.get(page)
         if copy is not None and copy.valid:
             copy.valid = False
             self.node.metrics.invalidations += 1
+            self.node.ins.invalidations.inc()
         self.mode.pop(page, None)
 
     # ------------------------------------------------------------------
@@ -370,6 +377,7 @@ class SequentialInvalidate(BaseProtocol):
             node.pagetable.install(page, values=payload["values"],
                                    valid=True)
             node.metrics.page_transfers += 1
+            node.ins.page_transfers.inc()
         self.mode[page] = WRITE if payload["write"] else READ
         done = self._fault_done.get(page)
         if done is not None and not done.triggered:

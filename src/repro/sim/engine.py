@@ -63,6 +63,16 @@ class Simulator:
         self._queue: List[Tuple[float, int, Callable, Any]] = []
         self._sequence = itertools.count()
         self.processed_events = 0
+        # Observability (optional): bound registry children, attached
+        # by the machine via attach_obs().
+        self._obs_events = None
+        self._obs_queue_depth = None
+
+    def attach_obs(self, obs) -> None:
+        """Emit event-dispatch and queue-depth metrics to ``obs``."""
+        self._obs_events = obs.registry.get(
+            "sim.events_dispatched_total")
+        self._obs_queue_depth = obs.registry.get("sim.queue_depth_peak")
 
     # -- scheduling ------------------------------------------------------
 
@@ -96,12 +106,16 @@ class Simulator:
         """Run the earliest pending event.  Returns False when empty."""
         if not self._queue:
             return False
+        if self._obs_queue_depth is not None:
+            self._obs_queue_depth.set_max(len(self._queue))
         time, _seq, callback, args = heapq.heappop(self._queue)
         if time < self.now:
             raise SimulationError("time went backwards")
         self.now = time
         callback(*args)
         self.processed_events += 1
+        if self._obs_events is not None:
+            self._obs_events.inc()
         return True
 
     def run(self, until: Optional[float] = None,

@@ -81,8 +81,7 @@ class BarrierManager:
                     src=node.proc, dst=proc, kind=MsgKind.BARRIER_DEPART,
                     payload={"barrier": barrier_id, "episode": episode,
                              "payload": departures[proc]}))
-            node.metrics.barrier_waits += 1
-            node.metrics.barrier_wait_cycles += self.sim.now - arrived_at
+            self._record_wait(arrived_at, barrier_id)
             yield from node.protocol.apply_depart(departures[node.proc])
             yield from self._maybe_collect_garbage()
         else:
@@ -95,10 +94,22 @@ class BarrierManager:
                          "payload": payload}))
             depart_payload = yield depart_event
             del self._departures[key]
-            node.metrics.barrier_waits += 1
-            node.metrics.barrier_wait_cycles += self.sim.now - arrived_at
+            self._record_wait(arrived_at, barrier_id)
             yield from node.protocol.apply_depart(depart_payload)
             yield from self._maybe_collect_garbage()
+
+    def _record_wait(self, arrived_at: float, barrier_id: int) -> None:
+        """Account one completed episode: legacy counters plus the
+        registry's sync.barrier_* metrics and an optional trace event."""
+        node = self.node
+        waited = self.sim.now - arrived_at
+        node.metrics.barrier_waits += 1
+        node.metrics.barrier_wait_cycles += waited
+        node.ins.barrier_waits.inc()
+        node.ins.barrier_wait.observe(waited)
+        if node.tracer:
+            node.tracer.emit("sync.barrier_done", barrier=barrier_id,
+                             node=node.proc, wait_cycles=waited)
 
     def _maybe_collect_garbage(self) -> None:
         """Run metadata GC every ``gc_barrier_interval`` episodes (all

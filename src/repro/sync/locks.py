@@ -96,12 +96,16 @@ class LockManager:
             yield handoff
             node.metrics.lock_acquires += 1
             node.metrics.lock_local_acquires += 1
+            node.ins.lock_acquires.inc()
+            node.ins.lock_local_acquires.inc()
             return
         if state.has_token and not state.queue:
             # Token cached locally and nobody queued: free re-acquire.
             state.held = True
             node.metrics.lock_acquires += 1
             node.metrics.lock_local_acquires += 1
+            node.ins.lock_acquires.inc()
+            node.ins.lock_local_acquires.inc()
             return
         state.waiting = self.sim.event(f"lock-{lock_id}-grant")
         if self.broadcast:
@@ -173,6 +177,7 @@ class LockManager:
         state.early_forwards = []
         yield from node.protocol.apply_grant(grant["payload"])
         node.metrics.lock_acquires += 1
+        node.ins.lock_acquires.inc()
 
     def release(self, lock_id: int) -> Generator:
         """Release ``lock_id``: run the protocol's release-side actions

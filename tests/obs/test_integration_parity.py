@@ -1,0 +1,165 @@
+"""Registry vs. legacy-counter parity on a real run.
+
+Every legacy ``NodeMetrics`` / ``NetworkStats`` increment is mirrored
+into the metrics registry at the same call site, in the same order, so
+the two accountings must agree *bit for bit* — including float cycle
+sums.  A Jacobi run on the 100 Mbit ATM network exercises every layer:
+the event kernel, the ATM model, the protocol engine, and the
+lock/barrier managers.
+"""
+
+import json
+
+import pytest
+
+from repro.apps import create_app
+from repro.core.config import MachineConfig, NetworkConfig
+from repro.core.runner import run_app
+from repro.net.message import MsgKind
+
+
+def _jacobi_run(protocol="li", nprocs=4):
+    return run_app(create_app("jacobi", n=24, iterations=3),
+                   MachineConfig(nprocs=nprocs,
+                                 network=NetworkConfig.atm()),
+                   protocol=protocol)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return _jacobi_run()
+
+
+def _per_node(result, attr):
+    # NodeInstruments binds every node's child eagerly, so the
+    # registry reports a (possibly zero) series for every node.
+    return {str(m.proc): getattr(m, attr)
+            for m in result.node_metrics}
+
+
+def test_message_counts_match_per_node_and_kind(result):
+    registry = result.registry
+    legacy_total = result.total_messages
+    assert registry.total("dsm.messages_total") == legacy_total
+    assert legacy_total > 0
+
+    by_node = registry.by_label("dsm.messages_total", "node")
+    for metrics in result.node_metrics:
+        assert by_node.get(str(metrics.proc), 0) == \
+            metrics.total_messages
+
+    by_type = registry.by_label("dsm.messages_total", "msg_type")
+    legacy_by_kind = result.messages_by_kind()
+    assert by_type == {kind.value: count
+                       for kind, count in legacy_by_kind.items()}
+
+
+def test_sync_message_accounting_matches(result):
+    assert result.registry_sync_messages() == result.sync_messages
+
+
+@pytest.mark.parametrize("metric,attr", [
+    ("dsm.data_bytes_total", "data_bytes_sent"),
+    ("dsm.wire_bytes_total", "wire_bytes_sent"),
+    ("dsm.read_misses_total", "read_misses"),
+    ("dsm.write_misses_total", "write_misses"),
+    ("dsm.cold_misses_total", "cold_misses"),
+    ("dsm.page_transfers_total", "page_transfers"),
+    ("dsm.diffs_created_total", "diffs_created"),
+    ("dsm.diff_words_total", "diff_words_created"),
+    ("dsm.diffs_applied_total", "diffs_applied"),
+    ("dsm.invalidations_total", "invalidations"),
+    ("sync.lock_acquires_total", "lock_acquires"),
+    ("sync.lock_local_acquires_total", "lock_local_acquires"),
+    ("sync.barrier_waits_total", "barrier_waits"),
+])
+def test_counter_totals_match_legacy(result, metric, attr):
+    registry = result.registry
+    legacy = sum(getattr(m, attr) for m in result.node_metrics)
+    assert registry.total(metric) == legacy
+    assert registry.by_label(metric, "node") == _per_node(result, attr)
+
+
+@pytest.mark.parametrize("metric,attr", [
+    ("sync.lock_wait_cycles", "lock_wait_cycles"),
+    ("sync.barrier_wait_cycles", "barrier_wait_cycles"),
+    ("dsm.miss_wait_cycles", "miss_wait_cycles"),
+    ("cpu.compute_cycles_total", "compute_cycles"),
+    ("cpu.overhead_cycles_total", "overhead_cycles"),
+])
+def test_cycle_sums_match_legacy_bit_for_bit(result, metric, attr):
+    # Float sums: mirrored at the same sites in the same order, so
+    # exact equality is required, not approx.
+    registry = result.registry
+    legacy = sum(getattr(m, attr) for m in result.node_metrics)
+    assert registry.total(metric) == legacy
+    assert registry.by_label(metric, "node") == _per_node(result, attr)
+
+
+def test_network_stats_match_registry(result):
+    registry = result.registry
+    assert registry.total("net.messages_total") == \
+        result.network_messages
+    assert registry.total("net.wire_bytes_total") == \
+        result.network_bytes
+    assert registry.total("net.contention_cycles_total") == \
+        result.network_contention_cycles
+    # The wire-time histogram saw every message.
+    wire = registry.get("net.wire_cycles").labels()
+    assert wire.count == result.network_messages
+
+
+def test_sim_event_count_matches_registry(result):
+    assert result.registry.total("sim.events_dispatched_total") > 0
+    assert result.registry.total("sim.queue_depth_peak") >= 1
+
+
+def test_const_labels_describe_the_run(result):
+    assert result.registry.const_labels == {
+        "protocol": "li", "network": "atm", "nprocs": "4",
+        "app": "jacobi"}
+
+
+def test_barrier_messages_exist_on_multiproc_run(result):
+    by_type = result.registry.by_label("dsm.messages_total",
+                                       "msg_type")
+    assert by_type.get(MsgKind.BARRIER_ARRIVE.value, 0) > 0
+    assert by_type.get(MsgKind.BARRIER_DEPART.value, 0) > 0
+
+
+def test_stats_cli_json_matches_run_counters():
+    """Acceptance: ``repro stats`` emits a JSON dump for a Jacobi /
+    ATM / LI run whose message and diff counts equal the values the
+    pre-existing experiments path reports."""
+    from repro.cli import main
+
+    import contextlib
+    import io
+    import os
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        out_path = os.path.join(tmp, "stats.json")
+        stdout = io.StringIO()
+        with contextlib.redirect_stdout(stdout):
+            code = main(["stats", "jacobi", "--protocol", "li",
+                         "--network", "atm", "--procs", "4",
+                         "--scale", "small", "--output", out_path])
+        assert code == 0
+        with open(out_path) as handle:
+            dump = json.load(handle)
+
+    reference = run_app(
+        create_app("jacobi", n=48, iterations=3),
+        MachineConfig(nprocs=4, network=NetworkConfig.atm()),
+        protocol="li")
+
+    assert dump["const_labels"]["protocol"] == "li"
+    assert dump["const_labels"]["network"] == "atm"
+    by_name = {m["name"]: m for m in dump["metrics"]}
+    assert by_name["dsm.messages_total"]["total"] == \
+        reference.total_messages
+    assert by_name["dsm.diffs_created_total"]["total"] == \
+        reference.diffs_created
+    assert by_name["net.messages_total"]["total"] == \
+        reference.network_messages

@@ -1,0 +1,123 @@
+"""Unit coverage for the tracer, its sinks, and simulated-time spans."""
+
+import io
+import json
+
+from repro.net.message import MsgKind
+from repro.obs import (JsonlSink, MemorySink, MetricsRegistry, NullSink,
+                       Observability, Span, TraceEvent, Tracer,
+                       read_jsonl)
+
+
+# -- sinks -------------------------------------------------------------
+
+def test_null_sink_disables_tracer():
+    tracer = Tracer()  # NullSink by default
+    assert not tracer
+    assert not tracer.enabled
+    tracer.emit("ignored", x=1)  # must be a no-op
+    tracer.close()
+
+
+def test_memory_sink_collects_and_filters():
+    sink = MemorySink()
+    clock_value = [0.0]
+    tracer = Tracer(sink, clock=lambda: clock_value[0])
+    assert tracer and tracer.enabled
+    tracer.emit("msg.send", src=0, dst=1)
+    clock_value[0] = 25.0
+    tracer.emit("msg.recv", src=0, dst=1)
+    tracer.emit("msg.send", src=1, dst=0)
+    assert len(sink.events) == 3
+    assert [e.name for e in sink.named("msg.send")] == ["msg.send",
+                                                        "msg.send"]
+    assert sink.events[0].ts == 0.0
+    assert sink.events[1].ts == 25.0
+    assert sink.events[1].fields == {"src": 0, "dst": 1}
+
+
+def test_jsonl_sink_writes_one_json_object_per_line():
+    buffer = io.StringIO()
+    tracer = Tracer(JsonlSink(buffer), clock=lambda: 7.0)
+    tracer.emit("sync.lock_acquired", lock=3, node=1, wait_cycles=40.0)
+    tracer.emit("msg.send", kind=MsgKind.PAGE_REQ)  # enum -> .value
+    tracer.close()  # flush; does not close a caller-owned file
+    lines = buffer.getvalue().splitlines()
+    assert len(lines) == 2
+    first = json.loads(lines[0])
+    assert first == {"ts": 7.0, "name": "sync.lock_acquired",
+                     "lock": 3, "node": 1, "wait_cycles": 40.0}
+    second = json.loads(lines[1])
+    assert second["kind"] == MsgKind.PAGE_REQ.value
+
+
+def test_jsonl_round_trip_through_file(tmp_path):
+    path = str(tmp_path / "trace.jsonl")
+    tracer = Tracer(JsonlSink(path), clock=lambda: 1.5)
+    tracer.emit("a", x=1)
+    tracer.emit("b", y="two")
+    tracer.close()
+    events = list(read_jsonl(path))
+    assert events == [TraceEvent(ts=1.5, name="a", fields={"x": 1}),
+                      TraceEvent(ts=1.5, name="b",
+                                 fields={"y": "two"})]
+
+
+# -- spans -------------------------------------------------------------
+
+def test_span_observes_histogram_and_emits_begin_end():
+    clock_value = [100.0]
+    sink = MemorySink()
+    tracer = Tracer(sink, clock=lambda: clock_value[0])
+    registry = MetricsRegistry()
+    hist = registry.histogram("test.phase_cycles", unit="cycles")
+
+    with Span(lambda: clock_value[0], "phase", histogram=hist,
+              tracer=tracer, node=0):
+        clock_value[0] = 340.0
+
+    child = hist.labels()
+    assert child.count == 1
+    assert child.sum == 240.0
+    begin, end = sink.events
+    assert begin.name == "phase.begin" and begin.ts == 100.0
+    assert end.name == "phase.end" and end.ts == 340.0
+    assert end.fields["cycles"] == 240.0
+    assert end.fields["node"] == 0
+
+
+def test_span_survives_generator_yields():
+    clock_value = [0.0]
+    registry = MetricsRegistry()
+    hist = registry.histogram("test.phase_cycles")
+
+    def process():
+        with Span(lambda: clock_value[0], "work", histogram=hist):
+            yield "first"
+            yield "second"
+
+    gen = process()
+    next(gen)
+    clock_value[0] = 10.0
+    next(gen)
+    clock_value[0] = 55.0
+    gen.close()  # GeneratorExit unwinds the with-block
+    assert hist.labels().sum == 55.0
+
+
+def test_observability_span_uses_bound_clock():
+    clock_value = [5.0]
+    obs = Observability(tracer=Tracer(MemorySink()))
+    obs.bind_clock(lambda: clock_value[0])
+    hist = obs.registry.histogram("test.phase_cycles")
+    with obs.span("phase", histogram=hist):
+        clock_value[0] = 9.0
+    assert hist.labels().sum == 4.0
+    names = [e.name for e in obs.tracer.sink.events]
+    assert names == ["phase.begin", "phase.end"]
+
+
+def test_observability_defaults_to_disabled_tracing():
+    obs = Observability()
+    assert isinstance(obs.tracer.sink, NullSink)
+    assert not obs.tracer
