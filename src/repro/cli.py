@@ -18,7 +18,8 @@ from typing import List, Optional
 
 from repro.analysis.experiments import APP_PARAMS, protocol_sweep
 from repro.apps import APP_NAMES, create_app
-from repro.core.config import MachineConfig, NetworkConfig
+from repro.core.config import (FaultConfig, MachineConfig,
+                               NetworkConfig, StallSpec)
 from repro.core.runner import run_app, sequential_baseline
 from repro.protocols import PROTOCOL_NAMES
 
@@ -36,11 +37,31 @@ def _app(args):
     return create_app(args.app, **params)
 
 
+def _parse_stall(spec: str) -> StallSpec:
+    """Parse a ``PROC:AT_US:DURATION_US`` stall spec."""
+    try:
+        proc, at_us, duration_us = spec.split(":")
+        return StallSpec(proc=int(proc), at_us=float(at_us),
+                         duration_us=float(duration_us))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected PROC:AT_US:DURATION_US, got {spec!r}")
+
+
+def _faults(args) -> FaultConfig:
+    return FaultConfig(drop_prob=getattr(args, "loss", 0.0),
+                       dup_prob=getattr(args, "dup", 0.0),
+                       reorder_prob=getattr(args, "reorder", 0.0),
+                       stalls=tuple(getattr(args, "stall", None) or ()),
+                       seed=getattr(args, "fault_seed", None))
+
+
 def _config(args, nprocs: Optional[int] = None) -> MachineConfig:
     return MachineConfig(nprocs=nprocs or args.procs,
                          cpu_mhz=args.mhz,
                          page_size=args.page_size,
-                         network=_network(args))
+                         network=_network(args),
+                         faults=_faults(args))
 
 
 def cmd_run(args) -> int:
@@ -50,6 +71,14 @@ def cmd_run(args) -> int:
     breakdown = result.time_breakdown()
     print("time breakdown: " + ", ".join(
         f"{name}={value:.0%}" for name, value in breakdown.items()))
+    registry = result.registry
+    if "transport.packets_sent_total" in registry:
+        print("transport: "
+              f"drops={registry.total('faults.drops_total'):.0f}, "
+              "retransmits="
+              f"{registry.total('transport.retransmits_total'):.0f}, "
+              "dup_suppressed="
+              f"{registry.total('transport.duplicates_suppressed_total'):.0f}")
     if args.speedup:
         baseline = sequential_baseline(lambda: _app(args),
                                        _config(args))
@@ -130,6 +159,24 @@ def cmd_stats(args) -> int:
     return 0
 
 
+def cmd_losssweep(args) -> int:
+    """Per-protocol slowdown across message-loss rates
+    (docs/robustness.md)."""
+    from repro.analysis.faults import format_loss_table, loss_sweep
+    rates = [float(r) for r in args.rates.split(",")]
+    protocols = (args.protocols.split(",") if args.protocols
+                 else list(PROTOCOL_NAMES))
+    for protocol in protocols:
+        if protocol not in PROTOCOL_NAMES:
+            raise SystemExit(f"unknown protocol {protocol!r}")
+    print(f"{args.app} on {args.procs} procs ({args.network}), "
+          f"loss rates {rates}")
+    results = loss_sweep(lambda: _app(args), _config(args),
+                         rates=rates, protocols=protocols)
+    print(format_loss_table(results))
+    return 0
+
+
 def cmd_report(args) -> int:
     """Regenerate the full EXPERIMENTS.md report."""
     from repro.analysis.generate_report import generate
@@ -162,6 +209,23 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--page-size", type=int, default=4096)
         p.add_argument("--scale", choices=["small", "bench", "large"],
                        default="bench")
+        # Fault injection (docs/robustness.md).  Any non-zero rate or
+        # stall enables the seeded injector and reliable transport.
+        p.add_argument("--loss", type=float, default=0.0,
+                       metavar="PROB",
+                       help="per-message drop probability")
+        p.add_argument("--dup", type=float, default=0.0,
+                       metavar="PROB",
+                       help="per-message duplication probability")
+        p.add_argument("--reorder", type=float, default=0.0,
+                       metavar="PROB",
+                       help="per-message reorder probability")
+        p.add_argument("--fault-seed", type=int, default=None,
+                       dest="fault_seed", metavar="SEED",
+                       help="fault-plan seed (default: machine seed)")
+        p.add_argument("--stall", type=_parse_stall, action="append",
+                       metavar="PROC:AT_US:DUR_US",
+                       help="inject a CPU stall (repeatable)")
 
     p_run = sub.add_parser("run", help=cmd_run.__doc__)
     common(p_run)
@@ -193,6 +257,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_stats.add_argument("--trace", default=None, metavar="FILE",
                          help="also record a JSONL event trace")
     p_stats.set_defaults(func=cmd_stats)
+
+    p_loss = sub.add_parser("losssweep", help=cmd_losssweep.__doc__)
+    common(p_loss)
+    p_loss.add_argument("--rates", default="0.0,0.001,0.01,0.05",
+                        help="comma-separated drop probabilities "
+                             "(first is the slowdown baseline)")
+    p_loss.add_argument("--protocols", default=None,
+                        help="comma-separated protocol subset "
+                             "(default: all five)")
+    p_loss.set_defaults(func=cmd_losssweep)
 
     p_rep = sub.add_parser("report", help=cmd_report.__doc__)
     p_rep.add_argument("output", nargs="?", default="EXPERIMENTS.md")

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
+from typing import Optional, Tuple
 
 # --- Paper defaults (reconstructed where the OCR dropped digits) -------
 
@@ -111,6 +112,116 @@ class OverheadConfig:
 
 
 @dataclass(frozen=True)
+class StallSpec:
+    """One injected CPU stall: node ``proc`` loses its processor for
+    ``duration_us`` starting at simulated time ``at_us``."""
+
+    proc: int
+    at_us: float
+    duration_us: float
+
+    def __post_init__(self) -> None:
+        if self.at_us < 0 or self.duration_us < 0:
+            raise ValueError("stall times must be non-negative")
+
+
+@dataclass(frozen=True)
+class LinkFault:
+    """Per-link fault-rate overrides for the directed link
+    ``src -> dst``.  ``None`` fields fall back to the global rates."""
+
+    src: int
+    dst: int
+    drop_prob: "float | None" = None
+    dup_prob: "float | None" = None
+    reorder_prob: "float | None" = None
+    delay_prob: "float | None" = None
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Deterministic fault-injection plan (see :mod:`repro.faults`).
+
+    All probabilities are per network transmission.  Decisions are
+    drawn from named substreams of ``seed`` (defaulting to the
+    machine seed), so two runs with identical configuration inject
+    the exact same faults, and enabling one fault class never
+    perturbs another's stream.  The default (all rates zero, no
+    stalls) disables the subsystem entirely: the machine then skips
+    the reliable transport and behaves bit-for-bit like a fault-free
+    build.
+    """
+
+    drop_prob: float = 0.0
+    dup_prob: float = 0.0
+    reorder_prob: float = 0.0
+    delay_prob: float = 0.0
+    delay_us: float = 100.0         # extra latency per delayed message
+    reorder_delay_us: float = 300.0  # hold-back applied to reordered msgs
+    stalls: "Tuple[StallSpec, ...]" = ()
+    links: "Tuple[LinkFault, ...]" = ()
+    seed: "int | None" = None       # fault substream seed (None: machine)
+
+    def __post_init__(self) -> None:
+        for name in ("drop_prob", "dup_prob", "reorder_prob",
+                     "delay_prob"):
+            value = getattr(self, name)
+            if not 0.0 <= value < 1.0:
+                raise ValueError(f"{name} must be in [0, 1): {value}")
+        object.__setattr__(self, "stalls", tuple(self.stalls))
+        object.__setattr__(self, "links", tuple(self.links))
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any fault source is configured."""
+        if (self.drop_prob or self.dup_prob or self.reorder_prob
+                or self.delay_prob or self.stalls):
+            return True
+        return any(rate for link in self.links
+                   for rate in (link.drop_prob, link.dup_prob,
+                                link.reorder_prob, link.delay_prob))
+
+    def replace(self, **kwargs) -> "FaultConfig":
+        return dataclasses.replace(self, **kwargs)
+
+
+@dataclass(frozen=True)
+class TransportConfig:
+    """Reliable-transport tuning (see :mod:`repro.net.transport`).
+
+    The retransmission timeout adapts to the measured round-trip time
+    per stream (RFC 6298-style SRTT/RTTVAR, Karn's rule) so that the
+    heavy, bursty contention of a shared Ethernet does not cause
+    spurious retransmissions; before the first sample it falls back to
+    ``rto_us`` plus the packet's own wire time.  The 10ms default is
+    deliberately conservative (1993-era TCP started at 3 *seconds*):
+    barrier episodes on the 10Mbit Ethernet routinely hold replies for
+    several milliseconds, and a sweep showed tighter values retransmit
+    spuriously (at 1ms, ~100 retransmissions per real drop; at 10ms,
+    one for one).  Each consecutive
+    expiry multiplies the timeout by ``rto_backoff`` (capped at
+    ``rto_backoff ** max_backoff_exp``), and every arm is stretched by
+    a multiplicative jitter of up to ``jitter_frac`` so synchronized
+    losers do not retransmit in lockstep.  ``force`` enables the
+    transport even with no faults configured (testing only — the
+    default keeps fault-free runs on the raw, zero-overhead path).
+    """
+
+    rto_us: float = 10000.0
+    rto_backoff: float = 2.0
+    max_backoff_exp: int = 6
+    ack_delay_us: float = 200.0
+    jitter_frac: float = 0.1
+    force: bool = False
+
+    def __post_init__(self) -> None:
+        if self.rto_us <= 0:
+            raise ValueError("rto_us must be positive")
+        if self.rto_backoff < 1.0:
+            raise ValueError("rto_backoff must be >= 1")
+
+
+@dataclass(frozen=True)
 class MachineConfig:
     """A cluster of identical nodes joined by one network."""
 
@@ -121,6 +232,8 @@ class MachineConfig:
     memory_latency_cycles: int = DEFAULT_MEMORY_LATENCY
     network: NetworkConfig = field(default_factory=NetworkConfig.atm)
     overhead: OverheadConfig = field(default_factory=OverheadConfig)
+    faults: FaultConfig = field(default_factory=FaultConfig)
+    transport: TransportConfig = field(default_factory=TransportConfig)
     seed: int = 1993
     # Garbage-collect consistency metadata (interval records, stored
     # diffs) every N global barrier episodes; 0 disables.  GC first

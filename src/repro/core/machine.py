@@ -50,7 +50,25 @@ class Machine:
         })
         self.sim.attach_obs(self.obs)
         self.network = build_network(self.sim, config)
-        self.network.attach(self._deliver)
+        # Robustness layer (docs/robustness.md): with any fault
+        # configured, the network gets a seeded injector and node
+        # traffic is routed through the reliable transport; otherwise
+        # both are skipped entirely so fault-free runs stay
+        # bit-for-bit identical to a build without the subsystem.
+        self.faults = None
+        self.transport = None
+        if config.faults.enabled:
+            from repro.faults import FaultInjector
+            self.faults = FaultInjector(config, obs=self.obs)
+            self.network.attach_faults(self.faults)
+        if config.faults.enabled or config.transport.force:
+            from repro.net.transport import ReliableTransport
+            self.transport = ReliableTransport(
+                self.sim, config, self.network, self._deliver,
+                obs=self.obs, tracer=self.obs.tracer)
+            self.network.attach(self.transport.on_network_delivery)
+        else:
+            self.network.attach(self._deliver)
         self.network.attach_obs(self.obs)
         self.address_space = AddressSpace(config.words_per_page)
         self._page_owner_override: Dict[int, int] = {}
@@ -63,6 +81,9 @@ class Machine:
             node.lock_manager = LockManager(node,
                                             broadcast=lock_broadcast)
             node.barrier_manager = BarrierManager(node)
+
+        if self.faults is not None:
+            self.faults.install_stalls(self)
 
         self._finished: List[Optional[float]] = [None] * config.nprocs
         self._app_results: List[object] = [None] * config.nprocs
@@ -150,6 +171,17 @@ class Machine:
         return barrier_id % self.config.nprocs
 
     # -- message delivery ------------------------------------------------------
+
+    def transmit(self, message: Message) -> None:
+        """Node send entry point: reliable transport when the
+        robustness layer is on, the raw network otherwise.  Looked up
+        per call so taps on ``network.transmit`` (e.g.
+        :func:`repro.analysis.timeline.attach_timeline`) keep
+        working."""
+        if self.transport is not None:
+            self.transport.send(message)
+        else:
+            self.network.transmit(message)
 
     def _deliver(self, message: Message) -> None:
         self.nodes[message.dst].deliver(message)

@@ -153,6 +153,19 @@ class Node:
         self.ins.overhead_cycles.inc(cycles)
         return end
 
+    def stall(self, cycles: float) -> None:
+        """Injected CPU stall (repro.faults): the processor is lost
+        for ``cycles`` — in-progress computation pays for it like an
+        interrupt, and pending handlers are pushed back — but it is
+        *not* software overhead, so the paper's cost accounting is
+        untouched."""
+        if cycles < 0:
+            raise ValueError(f"negative stall: {cycles}")
+        now = self.sim.now
+        self._handler_busy_until = max(now,
+                                       self._handler_busy_until) + cycles
+        self._interrupt_cycles += cycles
+
     # -- message costs -----------------------------------------------------
 
     def _message_overhead(self, message: Message) -> float:
@@ -176,7 +189,7 @@ class Node:
                              data_bytes=message.data_bytes,
                              context="app")
         yield from self.app_charge(self._message_overhead(message))
-        self.machine.network.transmit(message)
+        self.machine.transmit(message)
 
     def handler_send(self, message: Message) -> float:
         """Send from handler (interrupt) context: overhead extends the
@@ -191,7 +204,7 @@ class Node:
                              context="handler")
         ready = self.handler_charge(self._message_overhead(message))
         self.sim.schedule(ready - self.sim.now,
-                          self.machine.network.transmit, message)
+                          self.machine.transmit, message)
         return ready
 
     def _stamp(self, message: Message) -> None:

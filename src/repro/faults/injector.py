@@ -1,0 +1,160 @@
+"""The fault injector: a seeded, deterministic plan of network and
+CPU faults.
+
+Determinism discipline
+----------------------
+Each fault class draws from its own named substream
+(``faults.drop``, ``faults.dup``, ``faults.reorder``,
+``faults.delay`` — see :mod:`repro.core.rng`), and one uniform is
+drawn from *every* stream for *every* transmission, whether or not
+that class is enabled.  Consequences:
+
+- two runs with the same seed and config inject identical faults;
+- turning a rate from 0.0 to 0.1 flips exactly the decisions whose
+  pre-drawn uniform falls under the new rate, leaving every other
+  fault class untouched — so degradation studies compare like with
+  like.
+
+The injector never *hides* a loss from the accounting: every drop,
+duplicate, reorder hold and injected delay is counted in the
+``faults.*`` metrics, and the conservation property
+``received + dropped == sent + duplicated`` is pinned by
+``tests/properties/test_fault_tolerance.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.core.config import MachineConfig
+from repro.core.rng import substream
+
+
+class Decision:
+    """The injector's verdict for one network transmission."""
+
+    __slots__ = ("drop", "duplicate", "extra_delay")
+
+    def __init__(self, drop: bool = False, duplicate: bool = False,
+                 extra_delay: float = 0.0) -> None:
+        self.drop = drop
+        self.duplicate = duplicate
+        self.extra_delay = extra_delay
+
+    def __repr__(self) -> str:
+        return (f"<Decision drop={self.drop} dup={self.duplicate} "
+                f"delay={self.extra_delay:g}>")
+
+
+class FaultInjector:
+    """Per-transmission fault decisions plus scheduled CPU stalls."""
+
+    def __init__(self, config: MachineConfig, obs=None) -> None:
+        fc = config.faults
+        self.config = config
+        seed = fc.seed if fc.seed is not None else config.seed
+        self._drop_rng = substream(seed, "faults.drop")
+        self._dup_rng = substream(seed, "faults.dup")
+        self._reorder_rng = substream(seed, "faults.reorder")
+        self._delay_rng = substream(seed, "faults.delay")
+        self._links = {(link.src, link.dst): link for link in fc.links}
+        self.reorder_delay = config.us_to_cycles(fc.reorder_delay_us)
+        self.delay_cycles = config.us_to_cycles(fc.delay_us)
+        # Legacy-style counters, always kept (tests may run without obs).
+        self.drops = 0
+        self.duplicates = 0
+        self.reorders = 0
+        self.delay_cycles_injected = 0.0
+        self.stalls = 0
+        self.stall_cycles = 0.0
+        self._obs = None
+        if obs is not None:
+            self.attach_obs(obs)
+
+    def attach_obs(self, obs) -> None:
+        from repro.obs import install_robustness
+        registry = obs.registry
+        install_robustness(registry)
+        self._obs = {
+            "drops": registry.get("faults.drops_total"),
+            "dups": registry.get("faults.duplicates_total"),
+            "reorders": registry.get("faults.reorders_total"),
+            "delay": registry.get("faults.delay_cycles_total"),
+            "stalls": registry.get("faults.stalls_total"),
+            "stall_cycles": registry.get("faults.stall_cycles_total"),
+        }
+
+    # -- per-transmission decisions -------------------------------------
+
+    def rates_for(self, src: int, dst: int
+                  ) -> Tuple[float, float, float, float]:
+        """(drop, dup, reorder, delay) probabilities for one link."""
+        fc = self.config.faults
+        rates = [fc.drop_prob, fc.dup_prob, fc.reorder_prob,
+                 fc.delay_prob]
+        link = self._links.get((src, dst))
+        if link is not None:
+            overrides = (link.drop_prob, link.dup_prob,
+                         link.reorder_prob, link.delay_prob)
+            rates = [o if o is not None else r
+                     for o, r in zip(overrides, rates)]
+        return tuple(rates)
+
+    def decide(self, message) -> Optional[Decision]:
+        """Fault verdict for one transmission; ``None`` means deliver
+        normally.  Always draws one uniform per fault stream so that
+        enabling one class never perturbs another's sequence."""
+        u_drop = self._drop_rng.random()
+        u_dup = self._dup_rng.random()
+        u_reorder = self._reorder_rng.random()
+        u_delay = self._delay_rng.random()
+        drop, dup, reorder, delay = self.rates_for(message.src,
+                                                   message.dst)
+        if u_drop < drop:
+            self.drops += 1
+            if self._obs is not None:
+                self._obs["drops"].inc()
+            return Decision(drop=True)
+        decision = None
+        extra = 0.0
+        if u_reorder < reorder:
+            self.reorders += 1
+            extra += self.reorder_delay
+            if self._obs is not None:
+                self._obs["reorders"].inc()
+        if u_delay < delay:
+            extra += self.delay_cycles
+        if extra > 0.0:
+            self.delay_cycles_injected += extra
+            if self._obs is not None:
+                self._obs["delay"].inc(extra)
+        duplicate = u_dup < dup
+        if duplicate:
+            self.duplicates += 1
+            if self._obs is not None:
+                self._obs["dups"].inc()
+        if duplicate or extra > 0.0:
+            decision = Decision(duplicate=duplicate, extra_delay=extra)
+        return decision
+
+    # -- CPU stalls -----------------------------------------------------
+
+    def install_stalls(self, machine) -> None:
+        """Schedule every configured stall window on the sim kernel."""
+        for spec in self.config.faults.stalls:
+            if not 0 <= spec.proc < self.config.nprocs:
+                raise ValueError(
+                    f"stall names processor {spec.proc}, machine has "
+                    f"{self.config.nprocs}")
+            at = self.config.us_to_cycles(spec.at_us)
+            duration = self.config.us_to_cycles(spec.duration_us)
+            machine.sim.schedule(at, self._stall,
+                                 machine.nodes[spec.proc], duration)
+
+    def _stall(self, node, cycles: float) -> None:
+        node.stall(cycles)
+        self.stalls += 1
+        self.stall_cycles += cycles
+        if self._obs is not None:
+            self._obs["stalls"].inc()
+            self._obs["stall_cycles"].inc(cycles)

@@ -6,6 +6,11 @@ input port for its wire time, so disjoint source/destination pairs
 proceed fully in parallel and interference only arises when senders
 target a common destination — the property the paper credits for most
 of Jacobi's improvement over Ethernet.
+
+With fault injection attached, a dropped message still occupies both
+ports for its wire time: the cells were switched and then lost, so the
+loss is only detected end-to-end (by the reliable transport's
+timeouts), never by the switch.
 """
 
 from __future__ import annotations

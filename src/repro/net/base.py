@@ -62,7 +62,20 @@ class NetworkStats:
 
 
 class Network(ABC):
-    """Base class for the three contention models."""
+    """Base class for the three contention models.
+
+    Fault injection hook: when an injector is attached (see
+    :meth:`attach_faults`), every transmission first gets a verdict —
+    drop, duplicate, or extra delay.  Whether a *dropped* frame still
+    consumes the medium is model-specific
+    (:attr:`DROP_CONSUMES_WIRE`): on Ethernet and the ATM crossbar the
+    frame was physically transmitted and lost afterwards, so it
+    occupies the wire/ports as usual; the ideal model drops for free.
+    """
+
+    #: A dropped frame still pays wire time and contention (the loss
+    #: happens after transmission).  IdealNetwork overrides this.
+    DROP_CONSUMES_WIRE = True
 
     def __init__(self, sim: Simulator, config: MachineConfig) -> None:
         self.sim = sim
@@ -70,10 +83,15 @@ class Network(ABC):
         self.stats = NetworkStats()
         self.latency_cycles = config.us_to_cycles(config.network.latency_us)
         self._deliver: Optional[Callable[[Message], None]] = None
+        self.faults = None
 
     def attach(self, deliver: Callable[[Message], None]) -> None:
         """Register the machine-level delivery callback."""
         self._deliver = deliver
+
+    def attach_faults(self, injector) -> None:
+        """Route every transmission through a fault injector."""
+        self.faults = injector
 
     def attach_obs(self, obs) -> None:
         """Mirror traffic stats into the metrics registry.  Subclasses
@@ -91,9 +109,38 @@ class Network(ABC):
             raise RuntimeError("network not attached to a machine")
         if not (0 <= message.dst < self.config.nprocs):
             raise ValueError(f"destination {message.dst} out of range")
+        if self.faults is None:
+            delivery_time = self._schedule(message)
+            self.sim.schedule(delivery_time - self.sim.now,
+                              self._deliver, message)
+            return delivery_time
+        return self._transmit_with_faults(message)
+
+    def _transmit_with_faults(self, message: Message) -> float:
+        decision = self.faults.decide(message)
+        if (decision is not None and decision.drop
+                and not self.DROP_CONSUMES_WIRE):
+            # Free drop: the model never sees the frame.
+            return self.sim.now
         delivery_time = self._schedule(message)
+        if decision is None:
+            self.sim.schedule(delivery_time - self.sim.now,
+                              self._deliver, message)
+            return delivery_time
+        if decision.drop:
+            # Wire time and contention were paid; delivery never
+            # happens.  The injector already counted the drop.
+            return delivery_time
+        delivery_time += decision.extra_delay
         self.sim.schedule(delivery_time - self.sim.now,
                           self._deliver, message)
+        if decision.duplicate:
+            # The duplicate appears one latency later, without
+            # consuming the medium again (modelled as a switch-side
+            # replication, not a second send).
+            gap = self.latency_cycles or 1.0
+            self.sim.schedule(delivery_time + gap - self.sim.now,
+                              self._deliver, message)
         return delivery_time
 
     @abstractmethod

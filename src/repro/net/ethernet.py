@@ -10,16 +10,20 @@ Jacobi waits >3 ms per barrier for the wire) falls out of this model.
 
 from __future__ import annotations
 
-import random
-
 from repro.core.config import MachineConfig
+from repro.core.rng import substream
 from repro.net.base import Network
 from repro.net.message import Message
 from repro.sim.engine import Simulator
 
 
 class EthernetNetwork(Network):
-    """Single shared medium with optional CSMA/CD backoff penalties."""
+    """Single shared medium with optional CSMA/CD backoff penalties.
+
+    With fault injection attached, a dropped frame still occupies the
+    medium for its full wire time — on a broadcast Ethernet the bits
+    were sent and corrupted/lost, so everyone else still waited.
+    """
 
     MAX_CONTENDERS = 16  # backoff window stops growing past this
 
@@ -30,7 +34,7 @@ class EthernetNetwork(Network):
             config.network.backoff_slot_us)
         self._free_at = 0.0
         self._queued = 0
-        self._rng = random.Random(config.seed ^ 0xE7E7)
+        self._rng = substream(config.seed, "ethernet")
         self._obs_collisions = None
         self._obs_backoff = None
 
@@ -47,8 +51,11 @@ class EthernetNetwork(Network):
         if self.collisions and start > now:
             # The medium was busy: model a CSMA/CD collision episode
             # with a backoff window that grows linearly in the number
-            # of stations already queued (a light-tailed stand-in for
-            # truncated binary exponential backoff).
+            # of stations currently contending (a light-tailed stand-in
+            # for truncated binary exponential backoff).  The sender
+            # holds a contender slot until its modelled transmission
+            # ends, so the window tracks *live* contention instead of
+            # ratcheting up across unrelated episodes within a burst.
             self._queued += 1
             window = min(self._queued, self.MAX_CONTENDERS)
             backoff = self._rng.uniform(0.0, window) * self.slot_cycles
@@ -58,9 +65,13 @@ class EthernetNetwork(Network):
             if self._obs_collisions is not None:
                 self._obs_collisions.inc()
                 self._obs_backoff.inc(backoff)
-        elif start <= now:
-            self._queued = 0
-        end = start + wire
+            end = start + wire
+            self.sim.schedule(end - now, self._release_slot)
+        else:
+            end = start + wire
         self._free_at = end
         self.stats.record(message, wire, waited)
         return end + self.latency_cycles
+
+    def _release_slot(self) -> None:
+        self._queued -= 1

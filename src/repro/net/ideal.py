@@ -11,7 +11,15 @@ from repro.net.message import Message
 
 
 class IdealNetwork(Network):
-    """Delivers every message after the configured latency."""
+    """Delivers every message after the configured latency.
+
+    Injected drops are free here: the ideal model has no medium to
+    occupy, so a lost message consumes neither wire time nor stats —
+    useful for isolating pure transport-recovery behaviour from
+    contention effects.
+    """
+
+    DROP_CONSUMES_WIRE = False
 
     def _schedule(self, message: Message) -> float:
         self.stats.record(message, 0.0, 0.0)

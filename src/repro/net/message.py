@@ -37,6 +37,9 @@ class MsgKind(Enum):
     UPDATE_PUSH = "update_push"      # pre-barrier update distribution
     UPDATE_ACK = "update_ack"        # ack for LU/EU pushes
     DIFF_FWD = "diff_fwd"            # EI barrier: loser -> winner diffs
+    TRANSPORT_ACK = "transport_ack"  # reliable-transport pure ack
+    # (never sent by protocols; appears only on the wire when the
+    # reliable transport is active -- see repro.net.transport)
 
     @property
     def is_synchronization(self) -> bool:

@@ -1,0 +1,361 @@
+"""Reliable, exactly-once, in-order transport over a lossy network.
+
+The five DSM protocols were written against a perfect network: one
+lost message deadlocks a lock chain, a duplicated diff corrupts a
+page, a reordered grant breaks the happens-before order.  This layer
+sits between the nodes and the network model and restores those
+guarantees — like the user-level reliable transports real DSM systems
+build over raw interconnect primitives — so that under injected
+faults every protocol still terminates with correct application
+results, just more slowly.
+
+Mechanism (per directed node pair, TCP-flavoured but simpler):
+
+- **Sequence numbers** — the sender stamps each protocol message with
+  a per-destination sequence number.
+- **Cumulative acks, piggybacked** — every data packet carries the
+  highest in-order sequence number received on the reverse stream;
+  when no reverse traffic appears within ``ack_delay_us``, a pure
+  ``TRANSPORT_ACK`` packet (header-sized) is sent instead.
+- **Timeout retransmission** — the sender re-sends the oldest
+  unacknowledged packet when its retransmission timer (a cancellable
+  :class:`repro.sim.events.Timer`) fires; the timeout grows with the
+  packet's wire time, backs off exponentially per consecutive expiry,
+  and is stretched by seeded jitter so synchronized losers do not
+  retransmit in lockstep.
+- **Receiver reassembly** — in-order packets are delivered up
+  immediately; out-of-order packets are buffered until the gap fills;
+  duplicates (from injected duplication or spurious retransmission)
+  are suppressed.
+
+The transport is modelled at NIC level: retransmissions, acks, and
+duplicate suppression cost *wire* resources but no node CPU — the
+nodes' software-overhead accounting stays exactly the paper's.  When
+faults are disabled the machine bypasses this module entirely, so
+fault-free runs are bit-for-bit identical to a build without it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.core.config import MESSAGE_HEADER_BYTES, MachineConfig
+from repro.core.rng import substream
+from repro.net.message import Message, MsgKind
+from repro.sim.engine import Simulator
+
+
+class Packet:
+    """Transport envelope: one protocol message (or a pure ack) plus
+    sequencing metadata.  Quacks enough like :class:`Message` for the
+    network models (``src``/``dst``/``size_bytes``/``data_bytes``).
+    The transport header rides inside the fixed message header."""
+
+    __slots__ = ("src", "dst", "seq", "ack", "payload", "attempts",
+                 "first_sent")
+
+    def __init__(self, src: int, dst: int, seq: int, ack: int,
+                 payload: Optional[Message]) -> None:
+        self.src = src
+        self.dst = dst
+        self.seq = seq            # -1 for pure acks
+        self.ack = ack            # cumulative ack for the reverse stream
+        self.payload = payload    # None for pure acks
+        self.attempts = 0         # retransmissions so far
+        self.first_sent = 0.0
+
+    @property
+    def size_bytes(self) -> int:
+        if self.payload is None:
+            return MESSAGE_HEADER_BYTES
+        return self.payload.size_bytes
+
+    @property
+    def data_bytes(self) -> int:
+        return 0 if self.payload is None else self.payload.data_bytes
+
+    @property
+    def kind(self) -> MsgKind:
+        return (MsgKind.TRANSPORT_ACK if self.payload is None
+                else self.payload.kind)
+
+    def __repr__(self) -> str:
+        what = "ack" if self.payload is None else repr(self.payload)
+        return (f"<Pkt {self.src}->{self.dst} seq={self.seq} "
+                f"ack={self.ack} {what}>")
+
+
+class _Stream:
+    """State of one directed stream ``src -> dst``: the sender side
+    lives at ``src``, the receiver side at ``dst`` (the transport
+    object is machine-global, so both halves sit in one record)."""
+
+    __slots__ = ("src", "dst",
+                 # sender side
+                 "next_seq", "unacked", "timer", "backoff_exp",
+                 "srtt", "rttvar",
+                 # receiver side
+                 "expected", "buffer", "ack_pending", "ack_timer")
+
+    def __init__(self, src: int, dst: int) -> None:
+        self.src = src
+        self.dst = dst
+        self.next_seq = 0
+        self.unacked: Dict[int, Packet] = {}   # insertion-ordered by seq
+        self.timer = None
+        self.backoff_exp = 0
+        self.srtt = None      # smoothed RTT (cycles), RFC 6298-style
+        self.rttvar = 0.0
+        self.expected = 0
+        self.buffer: Dict[int, Packet] = {}
+        self.ack_pending = False
+        self.ack_timer = None
+
+
+class ReliableTransport:
+    """Exactly-once, in-order delivery for all node pairs."""
+
+    def __init__(self, sim: Simulator, config: MachineConfig, network,
+                 deliver: Callable[[Message], None],
+                 obs=None, tracer=None) -> None:
+        self.sim = sim
+        self.config = config
+        self.network = network
+        self._deliver_up = deliver
+        self.tracer = tracer
+        tc = config.transport
+        self.rto_cycles = config.us_to_cycles(tc.rto_us)
+        self.rto_backoff = tc.rto_backoff
+        self.max_backoff_exp = tc.max_backoff_exp
+        self.ack_delay = config.us_to_cycles(tc.ack_delay_us)
+        self.jitter_frac = tc.jitter_frac
+        fault_seed = config.faults.seed
+        seed = fault_seed if fault_seed is not None else config.seed
+        self._jitter_rng = substream(seed, "transport.jitter")
+        self._streams: Dict[Tuple[int, int], _Stream] = {}
+        self._obs = None
+        if obs is not None:
+            self.attach_obs(obs)
+
+    def attach_obs(self, obs) -> None:
+        from repro.obs import install_robustness
+        registry = obs.registry
+        install_robustness(registry)
+        self._obs = {
+            "sent": registry.get("transport.packets_sent_total"),
+            "received": registry.get("transport.packets_received_total"),
+            "data": registry.get("transport.data_packets_total"),
+            "retx": registry.get("transport.retransmits_total"),
+            "timeouts": registry.get("transport.timeout_fires_total"),
+            "acks": registry.get("transport.acks_sent_total"),
+            "piggyback": registry.get("transport.acks_piggybacked_total"),
+            "dups": registry.get(
+                "transport.duplicates_suppressed_total"),
+            "ooo": registry.get("transport.out_of_order_total"),
+            "delivered": registry.get("transport.delivered_total"),
+            "recovery": registry.get("transport.recovery_cycles"),
+        }
+
+    def _inc(self, name: str, amount=1) -> None:
+        if self._obs is not None:
+            self._obs[name].inc(amount)
+
+    def _stream(self, src: int, dst: int) -> _Stream:
+        key = (src, dst)
+        stream = self._streams.get(key)
+        if stream is None:
+            stream = _Stream(src, dst)
+            self._streams[key] = stream
+        return stream
+
+    def _cumulative_ack(self, src: int, dst: int) -> int:
+        """Highest in-order seq received on stream ``src -> dst``
+        (that state lives at ``dst``); -1 when nothing arrived yet."""
+        return self._stream(src, dst).expected - 1
+
+    # -- sending --------------------------------------------------------
+
+    def send(self, message: Message) -> None:
+        """Entry point for node sends (replaces raw network.transmit)."""
+        stream = self._stream(message.src, message.dst)
+        packet = Packet(message.src, message.dst, stream.next_seq,
+                        self._cumulative_ack(message.dst, message.src),
+                        message)
+        stream.next_seq += 1
+        packet.first_sent = self.sim.now
+        stream.unacked[packet.seq] = packet
+        self._inc("data")
+        # Piggyback: this data packet carries the ack the reverse
+        # stream may have owed, so cancel any pending pure ack.
+        reverse = self._stream(message.dst, message.src)
+        if reverse.ack_pending:
+            reverse.ack_pending = False
+            if reverse.ack_timer is not None:
+                reverse.ack_timer.cancel()
+                reverse.ack_timer = None
+            self._inc("piggyback")
+        if stream.timer is None:
+            self._arm(stream)
+        self._transmit(packet)
+
+    def _transmit(self, packet: Packet) -> None:
+        self._inc("sent")
+        self.network.transmit(packet)
+
+    # -- retransmission timer -------------------------------------------
+
+    def _rto(self, stream: _Stream, packet: Packet) -> float:
+        """Current retransmission timeout for ``packet``.
+
+        With RTT samples in hand: ``srtt + 4 * rttvar`` plus this
+        packet's own round trip of wire time (a page transfer is much
+        longer on the wire than the small packets most samples come
+        from), floored at the configured base.  Before any sample:
+        the base plus two wire round trips — deliberately generous,
+        since a spurious retransmission costs real contention on a
+        shared medium.  Backoff and jitter are applied on top."""
+        wire_round_trip = 2.0 * self.config.wire_cycles(
+            packet.size_bytes)
+        if stream.srtt is None:
+            base = self.rto_cycles + 2.0 * wire_round_trip
+        else:
+            base = max(self.rto_cycles,
+                       stream.srtt + 4.0 * stream.rttvar
+                       + wire_round_trip)
+        exponent = min(stream.backoff_exp, self.max_backoff_exp)
+        delay = base * (self.rto_backoff ** exponent)
+        return delay * (1.0 + self.jitter_frac
+                        * self._jitter_rng.random())
+
+    def _sample_rtt(self, stream: _Stream, sample: float) -> None:
+        """RFC 6298 smoothing; callers apply Karn's rule (no samples
+        from retransmitted packets — their acks are ambiguous)."""
+        if stream.srtt is None:
+            stream.srtt = sample
+            stream.rttvar = sample / 2.0
+        else:
+            stream.rttvar = (0.75 * stream.rttvar
+                             + 0.25 * abs(stream.srtt - sample))
+            stream.srtt = 0.875 * stream.srtt + 0.125 * sample
+
+    def _arm(self, stream: _Stream) -> None:
+        oldest = next(iter(stream.unacked.values()))
+        timer = self.sim.timer(self._rto(stream, oldest))
+        stream.timer = timer
+        timer.add_callback(
+            lambda _event, stream=stream, timer=timer:
+                self._on_timeout(stream, timer))
+
+    def _on_timeout(self, stream: _Stream, timer) -> None:
+        if stream.timer is not timer:
+            return  # stale fire (ack re-armed a fresh timer)
+        stream.timer = None
+        if not stream.unacked:
+            return
+        self._inc("timeouts")
+        stream.backoff_exp += 1
+        oldest = next(iter(stream.unacked.values()))
+        oldest.attempts += 1
+        # Refresh the piggybacked ack to the latest receiver state.
+        oldest.ack = self._cumulative_ack(stream.dst, stream.src)
+        self._inc("retx")
+        if self.tracer:
+            self.tracer.emit("transport.retx", src=stream.src,
+                             dst=stream.dst, seq=oldest.seq,
+                             attempt=oldest.attempts)
+        self._transmit(oldest)
+        self._arm(stream)
+
+    # -- receiving ------------------------------------------------------
+
+    def on_network_delivery(self, packet: Packet) -> None:
+        """Attached as the network's delivery callback."""
+        self._inc("received")
+        # 1. The piggybacked ack acknowledges the reverse stream.
+        self._process_ack(self._stream(packet.dst, packet.src),
+                          packet.ack)
+        if packet.payload is None:
+            return
+        # 2. Sequence handling for the forward stream.
+        stream = self._stream(packet.src, packet.dst)
+        if packet.seq == stream.expected:
+            stream.expected += 1
+            self._deliver_payload(packet)
+            while stream.expected in stream.buffer:
+                queued = stream.buffer.pop(stream.expected)
+                stream.expected += 1
+                self._deliver_payload(queued)
+        elif packet.seq > stream.expected:
+            if packet.seq in stream.buffer:
+                self._inc("dups")
+            else:
+                stream.buffer[packet.seq] = packet
+                self._inc("ooo")
+        else:
+            # Already delivered: a duplicate (injected, or a
+            # retransmission whose ack was lost).  Re-ack so the
+            # sender stops retrying.
+            self._inc("dups")
+        # 3. Owe the sender an ack (delayed, hoping to piggyback).
+        self._schedule_ack(stream)
+
+    def _deliver_payload(self, packet: Packet) -> None:
+        self._inc("delivered")
+        self._deliver_up(packet.payload)
+
+    def _process_ack(self, stream: _Stream, ack: int) -> None:
+        """Cumulative ack for ``stream``, processed at the sender."""
+        if not stream.unacked:
+            return
+        advanced = False
+        for seq in list(stream.unacked):
+            if seq > ack:
+                break  # unacked is insertion-ordered by seq
+            packet = stream.unacked.pop(seq)
+            advanced = True
+            if packet.attempts == 0:
+                self._sample_rtt(stream,
+                                 self.sim.now - packet.first_sent)
+            elif self._obs is not None:
+                self._obs["recovery"].observe(
+                    self.sim.now - packet.first_sent)
+        if not advanced:
+            return
+        stream.backoff_exp = 0
+        if stream.timer is not None:
+            stream.timer.cancel()
+            stream.timer = None
+        if stream.unacked:
+            self._arm(stream)
+
+    def _schedule_ack(self, stream: _Stream) -> None:
+        """Delayed ack for the receiver side of ``stream``: flushed as
+        a pure ack after ``ack_delay`` unless reverse-direction data
+        piggybacks it first."""
+        stream.ack_pending = True
+        if stream.ack_timer is not None:
+            return
+        timer = self.sim.timer(self.ack_delay)
+        stream.ack_timer = timer
+        timer.add_callback(
+            lambda _event, stream=stream, timer=timer:
+                self._flush_ack(stream, timer))
+
+    def _flush_ack(self, stream: _Stream, timer) -> None:
+        if stream.ack_timer is not timer:
+            return
+        stream.ack_timer = None
+        if not stream.ack_pending:
+            return
+        stream.ack_pending = False
+        ack_packet = Packet(stream.dst, stream.src, -1,
+                            stream.expected - 1, None)
+        self._inc("acks")
+        self._transmit(ack_packet)
+
+    # -- introspection --------------------------------------------------
+
+    def in_flight(self) -> int:
+        """Unacknowledged packets across all streams (tests)."""
+        return sum(len(stream.unacked)
+                   for stream in self._streams.values())

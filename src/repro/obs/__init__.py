@@ -13,8 +13,10 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
-from repro.obs.catalog import (CATALOG, CATALOG_BY_NAME, MetricSpec,
-                               SYNC_MSG_TYPES, install_catalog)
+from repro.obs.catalog import (CATALOG, CATALOG_BY_NAME,
+                               ROBUSTNESS_CATALOG, MetricSpec,
+                               SYNC_MSG_TYPES, install_catalog,
+                               install_robustness)
 from repro.obs.registry import (DEFAULT_BUCKETS, Metric, MetricError,
                                 MetricsRegistry)
 from repro.obs.timers import Span
@@ -26,8 +28,9 @@ __all__ = [
     "CATALOG", "CATALOG_BY_NAME", "DEFAULT_BUCKETS", "JsonlSink",
     "MemorySink", "Metric", "MetricError", "MetricSpec",
     "MetricsRegistry", "NodeInstruments", "NullSink", "Observability",
-    "SYNC_MSG_TYPES", "Span", "TraceEvent", "TraceSink", "Tracer",
-    "install_catalog", "read_jsonl",
+    "ROBUSTNESS_CATALOG", "SYNC_MSG_TYPES", "Span", "TraceEvent",
+    "TraceSink", "Tracer", "install_catalog", "install_robustness",
+    "read_jsonl",
 ]
 
 

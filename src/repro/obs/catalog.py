@@ -146,8 +146,59 @@ CATALOG: Tuple[MetricSpec, ...] = (
           labels=("node",), consumers=("Table 3",)),
 )
 
-CATALOG_BY_NAME: Dict[str, MetricSpec] = {spec.name: spec
-                                          for spec in CATALOG}
+#: Metrics of the robustness subsystem (fault injection + reliable
+#: transport, see docs/robustness.md).  Kept out of :data:`CATALOG` on
+#: purpose: they are installed only when the subsystem is active, so a
+#: fault-free run's stats dump stays bit-for-bit identical to a build
+#: without the subsystem (the obs parity test pins this).
+ROBUSTNESS_CATALOG: Tuple[MetricSpec, ...] = (
+    # -- faults --------------------------------------------------------
+    _spec("faults.drops_total", COUNTER, "packets",
+          "Packets killed by the fault injector.",
+          consumers=("loss sweep",)),
+    _spec("faults.duplicates_total", COUNTER, "packets",
+          "Extra deliveries created by the fault injector."),
+    _spec("faults.reorders_total", COUNTER, "packets",
+          "Packets held back to force reordering."),
+    _spec("faults.delay_cycles_total", COUNTER, "cycles",
+          "Extra delivery latency injected (delays + reorder holds)."),
+    _spec("faults.stalls_total", COUNTER, "stalls",
+          "CPU stall windows injected."),
+    _spec("faults.stall_cycles_total", COUNTER, "cycles",
+          "Cycles of injected CPU stall."),
+    # -- transport -----------------------------------------------------
+    _spec("transport.packets_sent_total", COUNTER, "packets",
+          "Packets handed to the network (data, acks, retransmits).",
+          consumers=("conservation invariant",)),
+    _spec("transport.packets_received_total", COUNTER, "packets",
+          "Packets arriving from the network.",
+          consumers=("conservation invariant",)),
+    _spec("transport.data_packets_total", COUNTER, "packets",
+          "First transmissions of data-bearing packets."),
+    _spec("transport.retransmits_total", COUNTER, "packets",
+          "Timeout-driven retransmissions.",
+          consumers=("loss sweep",)),
+    _spec("transport.timeout_fires_total", COUNTER, "timeouts",
+          "Retransmission timer expiries.",
+          consumers=("loss sweep",)),
+    _spec("transport.acks_sent_total", COUNTER, "packets",
+          "Standalone (pure) acknowledgement packets."),
+    _spec("transport.acks_piggybacked_total", COUNTER, "acks",
+          "Acknowledgements folded into outgoing data packets."),
+    _spec("transport.duplicates_suppressed_total", COUNTER, "packets",
+          "Duplicate data packets discarded by the receiver."),
+    _spec("transport.out_of_order_total", COUNTER, "packets",
+          "Packets buffered while awaiting earlier sequence numbers."),
+    _spec("transport.delivered_total", COUNTER, "messages",
+          "Protocol messages delivered upward, exactly once, in "
+          "order."),
+    _spec("transport.recovery_cycles", HISTOGRAM, "cycles",
+          "First-send-to-ack latency of packets that needed at least "
+          "one retransmission.", consumers=("loss sweep",)),
+)
+
+CATALOG_BY_NAME: Dict[str, MetricSpec] = {
+    spec.name: spec for spec in CATALOG + ROBUSTNESS_CATALOG}
 
 #: ``dsm.messages_total`` msg_type label values that count as
 #: synchronization traffic (mirrors ``MsgKind.is_synchronization``).
@@ -159,4 +210,12 @@ def install_catalog(registry) -> None:
     """Instantiate every catalogued metric on ``registry`` so a dump
     lists the full schema even before any series is touched."""
     for spec in CATALOG:
+        registry.from_spec(spec)
+
+
+def install_robustness(registry) -> None:
+    """Instantiate the fault/transport metrics.  Called by the fault
+    injector and the reliable transport when they are constructed, so
+    these series appear in dumps exactly when the subsystem is on."""
+    for spec in ROBUSTNESS_CATALOG:
         registry.from_spec(spec)

@@ -14,7 +14,7 @@ import heapq
 import itertools
 from typing import Any, Callable, Generator, List, Optional, Tuple
 
-from repro.sim.events import AllOf, Condition, Event, Timeout
+from repro.sim.events import AllOf, Condition, Event, Timeout, Timer
 
 
 class SimulationError(RuntimeError):
@@ -86,6 +86,10 @@ class Simulator:
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         return Timeout(self, delay, value)
+
+    def timer(self, delay: float, value: Any = None) -> Timer:
+        """A cancellable timeout (see :class:`repro.sim.events.Timer`)."""
+        return Timer(self, delay, value)
 
     def event(self, name: str = "") -> Event:
         return Event(self, name)

@@ -61,6 +61,32 @@ class Timeout(Event):
         self.succeed(value)
 
 
+class Timer(Timeout):
+    """A cancellable timeout.
+
+    The underlying heap entry cannot be removed, so :meth:`cancel`
+    marks the timer dead and the scheduled fire becomes a no-op.  Used
+    for protocol timers that are usually cancelled before expiry —
+    retransmission timeouts, delayed acks (see
+    :mod:`repro.net.transport`).
+    """
+
+    __slots__ = ("cancelled",)
+
+    def __init__(self, sim, delay: float, value: Any = None) -> None:
+        self.cancelled = False
+        super().__init__(sim, delay, value)
+
+    def cancel(self) -> None:
+        """Prevent the timer from firing; idempotent, and a no-op if
+        the timer already fired."""
+        self.cancelled = True
+
+    def _fire(self, value: Any) -> None:
+        if not self.cancelled:
+            self.succeed(value)
+
+
 class AllOf(Event):
     """Fires once every child event has fired; value is their values."""
 

@@ -49,6 +49,41 @@ def test_networks_command(capsys):
     assert "ATM" in out
 
 
+def test_run_with_loss_reports_transport_stats(capsys):
+    assert main(["run", "jacobi", "--procs", "4", "--scale", "small",
+                 "--network", "ethernet", "--loss", "0.01"]) == 0
+    out = capsys.readouterr().out
+    assert "transport:" in out
+    assert "retransmits=" in out
+
+
+def test_run_without_faults_prints_no_transport_line(capsys):
+    assert main(["run", "jacobi", "--procs", "2",
+                 "--scale", "small"]) == 0
+    assert "transport:" not in capsys.readouterr().out
+
+
+def test_stall_flag_parses_and_rejects_garbage():
+    parser = build_parser()
+    args = parser.parse_args(["run", "jacobi", "--stall", "1:500:200",
+                              "--stall", "0:10:20"])
+    assert [(s.proc, s.at_us, s.duration_us) for s in args.stall] == \
+        [(1, 500.0, 200.0), (0, 10.0, 20.0)]
+    with pytest.raises(SystemExit):
+        parser.parse_args(["run", "jacobi", "--stall", "nope"])
+
+
+def test_losssweep_command(capsys):
+    assert main(["losssweep", "jacobi", "--procs", "4",
+                 "--scale", "small", "--network", "ethernet",
+                 "--rates", "0.0,0.01", "--protocols", "lh"]) == 0
+    out = capsys.readouterr().out
+    assert "slowdown" in out
+    assert "1.00x" in out          # the 0.0-rate baseline row
+    with pytest.raises(SystemExit):
+        main(["losssweep", "jacobi", "--protocols", "doom"])
+
+
 def test_report_command(tmp_path, capsys):
     target = tmp_path / "report.md"
     assert main(["report", str(target), "--scale", "small"]) == 0

@@ -1,0 +1,146 @@
+"""Unit tests for the seeded fault injector (repro.faults)."""
+
+import pytest
+
+from repro.core.config import (FaultConfig, LinkFault, MachineConfig,
+                               NetworkConfig, StallSpec)
+from repro.faults import FaultInjector
+from repro.net.message import Message, MsgKind
+
+
+def make_injector(**fault_kwargs):
+    config = MachineConfig(nprocs=4, network=NetworkConfig.ethernet(),
+                           faults=FaultConfig(**fault_kwargs))
+    return FaultInjector(config)
+
+
+def msg(src=0, dst=1):
+    return Message(src=src, dst=dst, kind=MsgKind.FLUSH)
+
+
+def decisions(injector, n=200):
+    return [injector.decide(msg()) for _ in range(n)]
+
+
+def summarize(decision):
+    if decision is None:
+        return None
+    return (decision.drop, decision.duplicate, decision.extra_delay)
+
+
+def test_same_seed_gives_identical_fault_plan():
+    a = decisions(make_injector(drop_prob=0.1, dup_prob=0.1,
+                                reorder_prob=0.1))
+    b = decisions(make_injector(drop_prob=0.1, dup_prob=0.1,
+                                reorder_prob=0.1))
+    assert [summarize(d) for d in a] == [summarize(d) for d in b]
+
+
+def test_fault_classes_draw_from_independent_streams():
+    """Enabling duplication must not change *which* messages drop:
+    every class pre-draws from its own substream on every decision."""
+    drops_alone = [d is not None and d.drop
+                   for d in decisions(make_injector(drop_prob=0.2))]
+    drops_mixed = [d is not None and d.drop
+                   for d in decisions(make_injector(drop_prob=0.2,
+                                                    dup_prob=0.3,
+                                                    reorder_prob=0.3))]
+    assert drops_alone == drops_mixed
+    assert any(drops_alone)
+
+
+def test_drop_short_circuits_other_faults():
+    injector = make_injector(drop_prob=0.999, dup_prob=0.999)
+    for decision in decisions(injector, n=50):
+        if decision is not None and decision.drop:
+            assert not decision.duplicate
+            assert decision.extra_delay == 0.0
+    assert injector.drops > 0
+
+
+def test_rates_are_statistically_plausible():
+    injector = make_injector(drop_prob=0.05)
+    n = 5000
+    drops = sum(1 for _ in range(n)
+                if (d := injector.decide(msg())) and d.drop)
+    assert 0.03 < drops / n < 0.07
+    assert injector.drops == drops
+
+
+def test_no_faults_configured_returns_none():
+    quiet = make_injector()
+    assert all(d is None for d in decisions(quiet, n=50))
+    assert quiet.drops == quiet.duplicates == quiet.reorders == 0
+
+
+def test_per_link_overrides_take_precedence():
+    injector = make_injector(
+        drop_prob=0.0,
+        links=(LinkFault(src=2, dst=3, drop_prob=1.0),))
+    assert injector.rates_for(0, 1) == (0.0, 0.0, 0.0, 0.0)
+    assert injector.rates_for(2, 3) == (1.0, 0.0, 0.0, 0.0)
+    # Directed: the reverse link keeps global rates.
+    assert injector.rates_for(3, 2) == (0.0, 0.0, 0.0, 0.0)
+    decision = injector.decide(msg(2, 3))
+    assert decision is not None and decision.drop
+
+
+def test_reorder_and_delay_accumulate_extra_delay():
+    injector = make_injector(reorder_prob=0.999, delay_prob=0.999)
+    decision = injector.decide(msg())
+    assert decision is not None and not decision.drop
+    assert decision.extra_delay == pytest.approx(
+        injector.reorder_delay + injector.delay_cycles)
+    assert injector.reorders == 1
+
+
+def test_fault_config_validates_probabilities():
+    with pytest.raises(ValueError):
+        FaultConfig(drop_prob=1.5)
+    with pytest.raises(ValueError):
+        FaultConfig(drop_prob=-0.1)
+    with pytest.raises(ValueError):
+        StallSpec(proc=0, at_us=-1.0, duration_us=10.0)
+
+
+def test_enabled_property_reflects_any_fault_source():
+    assert not FaultConfig().enabled
+    assert FaultConfig(drop_prob=0.01).enabled
+    assert FaultConfig(stalls=(StallSpec(0, 0.0, 1.0),)).enabled
+    assert FaultConfig(links=(LinkFault(0, 1, dup_prob=0.5),)).enabled
+    assert not FaultConfig(links=(LinkFault(0, 1),)).enabled
+
+
+def test_stall_out_of_range_processor_rejected():
+    from repro.core.machine import Machine
+    config = MachineConfig(
+        nprocs=2, network=NetworkConfig.ideal(),
+        faults=FaultConfig(stalls=(StallSpec(proc=7, at_us=0.0,
+                                             duration_us=1.0),)))
+    with pytest.raises(ValueError):
+        Machine(config, protocol="lh")
+
+
+def test_stall_slows_the_stalled_node():
+    """A mid-computation stall delays that worker by the stall length."""
+    from repro.core.machine import Machine
+
+    def run(stalls):
+        config = MachineConfig(
+            nprocs=2, network=NetworkConfig.ideal(),
+            faults=FaultConfig(stalls=stalls))
+        machine = Machine(config, protocol="lh")
+
+        def worker(proc):
+            yield from machine.nodes[proc].compute(10_000)
+
+        return machine, machine.run(worker, app="stall-test")
+
+    _m0, clean = run(())
+    spec = StallSpec(proc=1, at_us=10.0, duration_us=100.0)
+    machine, stalled = run((spec,))
+    stall_cycles = machine.config.us_to_cycles(spec.duration_us)
+    assert stalled.elapsed_cycles == pytest.approx(
+        clean.elapsed_cycles + stall_cycles)
+    assert machine.faults.stalls == 1
+    assert machine.faults.stall_cycles == pytest.approx(stall_cycles)

