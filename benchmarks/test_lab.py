@@ -1,0 +1,83 @@
+"""Harness benchmark: serial vs parallel vs warm-cache resolution.
+
+Runs the protocol x application grid (5 protocols x Jacobi/Water, 8
+processors, ATM) three ways — serially in-process, fanned over a
+4-worker pool, and again from a warm cache — asserts all three are
+byte-identical, and emits ``BENCH_lab.json`` recording wall times and
+cache-hit counts, seeding the repo's perf trajectory.  The parallel
+speedup itself is hardware-dependent (this container may be
+single-core); the CI acceptance gate for the 0.6x bound runs on the
+4-core runner.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from benchmarks.conftest import SCALE, run_once
+from repro.analysis.experiments import APP_PARAMS
+from repro.core.config import MachineConfig, NetworkConfig
+from repro.lab import Lab, RunSpec
+from repro.protocols import PROTOCOL_NAMES
+
+JOBS = 4
+OUT = Path(__file__).resolve().parents[1] / "BENCH_lab.json"
+
+
+def _specs():
+    return [RunSpec(app, APP_PARAMS[SCALE][app], protocol=protocol,
+                    config=MachineConfig(nprocs=8,
+                                         network=NetworkConfig.atm()))
+            for app in ("jacobi", "water")
+            for protocol in PROTOCOL_NAMES]
+
+
+def _dumps(results):
+    return [json.dumps(r.to_dict(), sort_keys=True) for r in results]
+
+
+def test_lab_parallel_and_warm_cache(benchmark, tmp_path):
+    specs = _specs()
+    cache = tmp_path / "cache"
+
+    serial_lab = Lab()
+    started = time.perf_counter()
+    serial = run_once(benchmark, lambda: serial_lab.run_many(specs))
+    serial_wall = time.perf_counter() - started
+
+    started = time.perf_counter()
+    with Lab(jobs=JOBS, cache_dir=cache) as lab:
+        parallel = lab.run_many(specs)
+        parallel_stats = lab.stats()
+    parallel_wall = time.perf_counter() - started
+
+    started = time.perf_counter()
+    with Lab(jobs=JOBS, cache_dir=cache) as lab:
+        warm = lab.run_many(specs)
+        warm_stats = lab.stats()
+    warm_wall = time.perf_counter() - started
+
+    assert _dumps(parallel) == _dumps(serial)
+    assert _dumps(warm) == _dumps(serial)
+    assert warm_stats["executed"] == 0
+    assert warm_stats["cache_hits_disk"] == len(specs)
+
+    record = {
+        "scale": SCALE,
+        "runs": len(specs),
+        "jobs": JOBS,
+        "serial_wall_seconds": round(serial_wall, 3),
+        "parallel_wall_seconds": round(parallel_wall, 3),
+        "parallel_speedup": round(serial_wall / parallel_wall, 3),
+        "parallel_executed": parallel_stats["executed"],
+        "warm_wall_seconds": round(warm_wall, 3),
+        "warm_cache_hits_disk": warm_stats["cache_hits_disk"],
+        "warm_executed": warm_stats["executed"],
+        "byte_identical": True,
+    }
+    OUT.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"\nBENCH_lab: serial {serial_wall:.1f}s, "
+          f"jobs={JOBS} {parallel_wall:.1f}s "
+          f"({record['parallel_speedup']:.2f}x), "
+          f"warm {warm_wall:.2f}s with "
+          f"{warm_stats['cache_hits_disk']:.0f} disk hits")

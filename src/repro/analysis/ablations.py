@@ -8,78 +8,89 @@ so its contribution can be quantified:
 3. lock forwarding through the static owner vs broadcast requests;
 4. Ethernet collision modelling (see Table 2);
 5. the lazy protocols' doubled per-byte software overhead.
+
+Every run resolves through a :class:`repro.lab.Lab` (pass ``lab=`` to
+share a cache with other drivers, as ``repro report`` does).
 """
 
 from __future__ import annotations
 
 from typing import Dict, Optional
 
-from repro.analysis.experiments import APP_PARAMS, _app_factory
+from repro.analysis.experiments import APP_PARAMS
 from repro.core.config import (MachineConfig, NetworkConfig,
                                OverheadConfig)
 from repro.core.metrics import RunResult
-from repro.core.runner import run_app
+from repro.lab import Lab, RunSpec
 
 
 def _run(app: str, scale: str, nprocs: int, protocol: str,
          protocol_options: Optional[dict] = None,
          lock_broadcast: bool = False,
-         overhead: Optional[OverheadConfig] = None) -> RunResult:
-    factory = _app_factory(app, scale)
+         overhead: Optional[OverheadConfig] = None,
+         lab: Optional[Lab] = None) -> RunResult:
     config = MachineConfig(nprocs=nprocs, network=NetworkConfig.atm())
     if overhead is not None:
         config = config.replace(overhead=overhead)
-    return run_app(factory(), config, protocol=protocol,
-                   protocol_options=protocol_options,
+    spec = RunSpec(app, APP_PARAMS[scale][app], protocol=protocol,
+                   config=config, protocol_options=protocol_options,
                    lock_broadcast=lock_broadcast)
+    return (lab if lab is not None else Lab()).run(spec)
 
 
 def ablate_diff_encoding(app: str = "water", nprocs: int = 16,
-                         scale: str = "bench"
+                         scale: str = "bench",
+                         lab: Optional[Lab] = None
                          ) -> Dict[str, RunResult]:
     """Diffs vs whole pages: price every diff at the full page size,
     modelling a DSM without run-length encoding.  The paper's diffs
     are what keep the update protocols' data volume reasonable."""
     return {
-        "diffs": _run(app, scale, nprocs, "lh"),
+        "diffs": _run(app, scale, nprocs, "lh", lab=lab),
         "whole_pages": _run(app, scale, nprocs, "lh",
                             protocol_options={
-                                "price_diffs_as_pages": True}),
+                                "price_diffs_as_pages": True},
+                            lab=lab),
     }
 
 
 def ablate_hybrid_heuristic(app: str = "water", nprocs: int = 16,
-                            scale: str = "bench"
+                            scale: str = "bench",
+                            lab: Optional[Lab] = None
                             ) -> Dict[str, RunResult]:
     """LH's copyset piggyback rule vs always-push vs never-push.
     'never' degenerates toward LI (more misses); 'always' toward LU's
     data volume (useless diffs for uncached pages)."""
     return {policy: _run(app, scale, nprocs, "lh",
-                         protocol_options={"piggyback_policy": policy})
+                         protocol_options={"piggyback_policy": policy},
+                         lab=lab)
             for policy in ("copyset", "always", "never")}
 
 
 def ablate_lock_broadcast(app: str = "cholesky", nprocs: int = 8,
-                          scale: str = "bench"
+                          scale: str = "bench",
+                          lab: Optional[Lab] = None
                           ) -> Dict[str, RunResult]:
     """Owner-forwarded lock requests (3 messages, up to 2 hops) vs
     broadcast requests (n messages, 1 hop): the latency/message-count
     trade the paper's conclusion points at."""
     return {
-        "forwarding": _run(app, scale, nprocs, "lh"),
+        "forwarding": _run(app, scale, nprocs, "lh", lab=lab),
         "broadcast": _run(app, scale, nprocs, "lh",
-                          lock_broadcast=True),
+                          lock_broadcast=True, lab=lab),
     }
 
 
 def ablate_lazy_overhead_factor(app: str = "water", nprocs: int = 16,
-                                scale: str = "bench"
+                                scale: str = "bench",
+                                lab: Optional[Lab] = None
                                 ) -> Dict[str, RunResult]:
     """The simulation charges lazy protocols double the per-byte
     software overhead for their extra complexity; this quantifies how
     much of the eager/lazy gap that assumption gives back."""
     return {
-        "doubled": _run(app, scale, nprocs, "lh"),
+        "doubled": _run(app, scale, nprocs, "lh", lab=lab),
         "flat": _run(app, scale, nprocs, "lh",
-                     overhead=OverheadConfig(lazy_per_byte_factor=1.0)),
+                     overhead=OverheadConfig(lazy_per_byte_factor=1.0),
+                     lab=lab),
     }

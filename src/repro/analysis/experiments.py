@@ -7,6 +7,13 @@ paper-vs-measured rows.  Problem sizes are scaled down from the paper
 (512x512 Jacobi, 18-city TSP, 288-molecule Water, bcsstk14 Cholesky)
 to keep the pure-Python simulation fast; pass ``scale="paper"`` for
 full-size runs where feasible.
+
+Every driver resolves its runs through a :class:`repro.lab.Lab`
+(pass one to parallelize across cores and cache results on disk; by
+default each driver uses a private in-memory lab).  Sharing one lab
+across drivers — as ``repro report`` does — dedupes the repeated
+one-processor baselines and identical cells between tables, so each
+unique configuration simulates exactly once.
 """
 
 from __future__ import annotations
@@ -19,7 +26,7 @@ from repro.core.config import (ATM_MBPS, ETHERNET_MBPS, GIGABIT_MBPS,
                                SMALL_PAGE_SIZE, MachineConfig,
                                NetworkConfig, OverheadConfig)
 from repro.core.metrics import RunResult
-from repro.core.runner import run_app
+from repro.lab import Lab, RunSpec
 from repro.protocols import PROTOCOL_NAMES
 
 #: Scaled-down application parameters per preset.
@@ -87,28 +94,41 @@ def _app_factory(app: str, scale: str) -> Callable:
     return lambda: create_app(app, **params)
 
 
+def _ensure_lab(lab: Optional[Lab]) -> Lab:
+    return lab if lab is not None else Lab()
+
+
 def protocol_sweep(app: str, network: NetworkConfig,
                    proc_counts: Sequence[int] = DEFAULT_PROCS,
                    protocols: Sequence[str] = PROTOCOL_NAMES,
                    scale: str = "bench",
-                   config: Optional[MachineConfig] = None
-                   ) -> FigureResult:
+                   config: Optional[MachineConfig] = None,
+                   lab: Optional[Lab] = None) -> FigureResult:
     """Run ``app`` under each protocol across processor counts."""
-    factory = _app_factory(app, scale)
+    lab = _ensure_lab(lab)
+    params = APP_PARAMS[scale][app]
     base_config = config or MachineConfig()
-    baseline = run_app(factory(),
-                       base_config.replace(nprocs=1, network=network))
+    specs = [RunSpec(app, params, protocol="lh",
+                     config=base_config.replace(nprocs=1,
+                                                network=network))]
+    index: Dict[tuple, int] = {}
+    for protocol in protocols:
+        for nprocs in proc_counts:
+            if nprocs == 1:
+                continue
+            index[(protocol, nprocs)] = len(specs)
+            specs.append(RunSpec(
+                app, params, protocol=protocol,
+                config=base_config.replace(nprocs=nprocs,
+                                           network=network)))
+    results = lab.run_many(specs)
+    baseline = results[0]
     curves: Dict[str, Curve] = {}
     for protocol in protocols:
         curve = Curve(protocol=protocol)
         for nprocs in proc_counts:
-            if nprocs == 1:
-                result = baseline
-            else:
-                result = run_app(
-                    factory(),
-                    base_config.replace(nprocs=nprocs, network=network),
-                    protocol=protocol)
+            result = (baseline if nprocs == 1
+                      else results[index[(protocol, nprocs)]])
             curve.speedup[nprocs] = result.speedup_over(baseline)
             # Message/data series come from the metrics registry
             # (``dsm.messages_total`` / ``dsm.data_bytes_total``; see
@@ -128,12 +148,12 @@ def protocol_sweep(app: str, network: NetworkConfig,
 # ----------------------------------------------------------------------
 
 def fig6_jacobi_ethernet(scale: str = "bench",
-                         proc_counts: Sequence[int] = DEFAULT_PROCS
-                         ) -> FigureResult:
+                         proc_counts: Sequence[int] = DEFAULT_PROCS,
+                         lab: Optional[Lab] = None) -> FigureResult:
     """Figure 6: Jacobi speedup on the 10 Mbit Ethernet — peaks around
     8 processors (paper: 5.2) and declines."""
     result = protocol_sweep("jacobi", NetworkConfig.ethernet(),
-                            proc_counts, scale=scale)
+                            proc_counts, scale=scale, lab=lab)
     result.figure = "fig6"
     result.title = "Speedup for Jacobi on Ethernet"
     result.paper_notes = ("paper: peaks ~5.2 at 8 procs, declines at "
@@ -142,9 +162,10 @@ def fig6_jacobi_ethernet(scale: str = "bench",
 
 
 def _atm_figures(app: str, figure: str, title: str, notes: str,
-                 scale: str, proc_counts: Sequence[int]) -> FigureResult:
+                 scale: str, proc_counts: Sequence[int],
+                 lab: Optional[Lab] = None) -> FigureResult:
     result = protocol_sweep(app, NetworkConfig.atm(), proc_counts,
-                            scale=scale)
+                            scale=scale, lab=lab)
     result.figure = figure
     result.title = title
     result.paper_notes = notes
@@ -152,48 +173,48 @@ def _atm_figures(app: str, figure: str, title: str, notes: str,
 
 
 def fig7_9_jacobi_atm(scale: str = "bench",
-                      proc_counts: Sequence[int] = DEFAULT_PROCS
-                      ) -> FigureResult:
+                      proc_counts: Sequence[int] = DEFAULT_PROCS,
+                      lab: Optional[Lab] = None) -> FigureResult:
     """Figures 7-9: Jacobi on ATM — good speedup for all protocols
     (paper: ~14 at 16 procs); EI moves the most data (whole pages)."""
     return _atm_figures(
         "jacobi", "fig7-9", "Jacobi on ATM (speedup/messages/data)",
         "paper: ~14x at 16p, protocols within ~10%; EI data highest",
-        scale, proc_counts)
+        scale, proc_counts, lab=lab)
 
 
 def fig10_12_tsp_atm(scale: str = "bench",
-                     proc_counts: Sequence[int] = DEFAULT_PROCS
-                     ) -> FigureResult:
+                     proc_counts: Sequence[int] = DEFAULT_PROCS,
+                     lab: Optional[Lab] = None) -> FigureResult:
     """Figures 10-12: TSP on ATM — eager slightly beats lazy (stale
     global minimum prunes worse under lazy)."""
     return _atm_figures(
         "tsp", "fig10-12", "TSP on ATM (speedup/messages/data)",
         "paper: eager >= lazy (fresher bound); queue lock contention",
-        scale, proc_counts)
+        scale, proc_counts, lab=lab)
 
 
 def fig13_15_water_atm(scale: str = "bench",
-                       proc_counts: Sequence[int] = DEFAULT_PROCS
-                       ) -> FigureResult:
+                       proc_counts: Sequence[int] = DEFAULT_PROCS,
+                       lab: Optional[Lab] = None) -> FigureResult:
     """Figures 13-15: Water on ATM — LH best; lazy > eager; EU sends
     an order of magnitude more messages."""
     return _atm_figures(
         "water", "fig13-15", "Water on ATM (speedup/messages/data)",
         "paper: LH best (migratory molecules); EU ~10x messages",
-        scale, proc_counts)
+        scale, proc_counts, lab=lab)
 
 
 def fig16_18_cholesky_atm(scale: str = "bench",
-                          proc_counts: Sequence[int] = DEFAULT_PROCS
-                          ) -> FigureResult:
+                          proc_counts: Sequence[int] = DEFAULT_PROCS,
+                          lab: Optional[Lab] = None) -> FigureResult:
     """Figures 16-18: Cholesky on ATM — speedup <= ~1.3 under every
     protocol; synchronization dominates (96% of messages)."""
     return _atm_figures(
         "cholesky", "fig16-18",
         "Cholesky on ATM (speedup/messages/data)",
         "paper: <=1.3x all protocols; lazy moves far less than eager",
-        scale, proc_counts)
+        scale, proc_counts, lab=lab)
 
 
 # ----------------------------------------------------------------------
@@ -220,107 +241,141 @@ TABLE2_PAPER = {
 }
 
 
-def tab2_networks(scale: str = "bench", nprocs: int = 16
+def tab2_networks(scale: str = "bench", nprocs: int = 16,
+                  lab: Optional[Lab] = None
                   ) -> Dict[str, Dict[str, float]]:
     """Table 2: Jacobi and Water speedups (LH) on five networks."""
+    lab = _ensure_lab(lab)
+    apps = ("jacobi", "water")
+    specs: List[RunSpec] = []
+    for app in apps:
+        params = APP_PARAMS[scale][app]
+        specs.append(RunSpec(app, params,
+                             config=MachineConfig(nprocs=1)))
+        for _name, network in TABLE2_NETWORKS:
+            specs.append(RunSpec(
+                app, params, protocol="lh",
+                config=MachineConfig(nprocs=nprocs,
+                                     network=network)))
+    results = iter(lab.run_many(specs))
     rows: Dict[str, Dict[str, float]] = {}
-    for app in ("jacobi", "water"):
-        factory = _app_factory(app, scale)
-        baseline = run_app(factory(), MachineConfig(nprocs=1))
-        for name, network in TABLE2_NETWORKS:
-            result = run_app(factory(),
-                             MachineConfig(nprocs=nprocs,
-                                           network=network),
-                             protocol="lh")
+    for app in apps:
+        baseline = next(results)
+        for name, _network in TABLE2_NETWORKS:
             rows.setdefault(name, {})[app] = \
-                result.speedup_over(baseline)
+                next(results).speedup_over(baseline)
     return rows
 
 
 def tab3_overheads(scale: str = "bench", nprocs: int = 16,
                    apps: Sequence[str] = ("jacobi", "tsp", "water",
                                           "cholesky"),
-                   protocols: Sequence[str] = PROTOCOL_NAMES
+                   protocols: Sequence[str] = PROTOCOL_NAMES,
+                   lab: Optional[Lab] = None
                    ) -> Dict[str, Dict[str, Dict[str, float]]]:
     """Table 3: speedups with zero / normal / double software overhead
     (16 processors, ATM)."""
+    lab = _ensure_lab(lab)
+    levels = (("zero", 0.0), ("normal", 1.0), ("double", 2.0))
+    specs: List[RunSpec] = []
+    for app in apps:
+        params = APP_PARAMS[scale][app]
+        for _label, overhead_scale in levels:
+            config = MachineConfig(
+                nprocs=nprocs, network=NetworkConfig.atm(),
+                overhead=OverheadConfig(scale=overhead_scale))
+            specs.append(RunSpec(app, params,
+                                 config=config.replace(nprocs=1)))
+            for protocol in protocols:
+                specs.append(RunSpec(app, params, protocol=protocol,
+                                     config=config))
+    results = iter(lab.run_many(specs))
     out: Dict[str, Dict[str, Dict[str, float]]] = {}
     for app in apps:
-        factory = _app_factory(app, scale)
         out[app] = {}
-        for label, overhead_scale in (("zero", 0.0), ("normal", 1.0),
-                                      ("double", 2.0)):
-            overhead = OverheadConfig(scale=overhead_scale)
-            config = MachineConfig(nprocs=nprocs,
-                                   network=NetworkConfig.atm(),
-                                   overhead=overhead)
-            baseline = run_app(factory(),
-                               config.replace(nprocs=1))
-            row = {}
-            for protocol in protocols:
-                result = run_app(factory(), config, protocol=protocol)
-                row[protocol] = result.speedup_over(baseline)
-            out[app][label] = row
+        for label, _overhead_scale in levels:
+            baseline = next(results)
+            out[app][label] = {
+                protocol: next(results).speedup_over(baseline)
+                for protocol in protocols}
     return out
 
 
 def tab4_cpu_speeds(scale: str = "bench", nprocs: int = 16,
                     speeds_mhz: Sequence[float] = (20.0, 40.0, 80.0),
                     apps: Sequence[str] = ("jacobi", "tsp", "water",
-                                           "cholesky")
+                                           "cholesky"),
+                    lab: Optional[Lab] = None
                     ) -> Dict[str, Dict[float, float]]:
     """Table 4: LH speedups at different processor speeds.  The
     network stays fixed in physical time, so faster processors shift
     the compute/communication ratio against the DSM."""
-    out: Dict[str, Dict[float, float]] = {}
+    lab = _ensure_lab(lab)
+    specs: List[RunSpec] = []
     for app in apps:
-        factory = _app_factory(app, scale)
-        out[app] = {}
+        params = APP_PARAMS[scale][app]
         for mhz in speeds_mhz:
             config = MachineConfig(nprocs=nprocs, cpu_mhz=mhz,
                                    network=NetworkConfig.atm())
-            baseline = run_app(factory(), config.replace(nprocs=1))
-            result = run_app(factory(), config, protocol="lh")
-            out[app][mhz] = result.speedup_over(baseline)
+            specs.append(RunSpec(app, params,
+                                 config=config.replace(nprocs=1)))
+            specs.append(RunSpec(app, params, protocol="lh",
+                                 config=config))
+    results = iter(lab.run_many(specs))
+    out: Dict[str, Dict[float, float]] = {}
+    for app in apps:
+        out[app] = {}
+        for mhz in speeds_mhz:
+            baseline = next(results)
+            out[app][mhz] = next(results).speedup_over(baseline)
     return out
 
 
 def tab5_page_size(scale: str = "bench",
                    proc_counts: Sequence[int] = (8, 16),
                    apps: Sequence[str] = ("jacobi", "tsp", "water",
-                                          "cholesky")
+                                          "cholesky"),
+                   lab: Optional[Lab] = None
                    ) -> Dict[str, Dict[int, Dict[int, float]]]:
     """Table 5: LH speedups with 4096- vs 1024-byte pages.  Smaller
     pages reduce false sharing but raise the miss count."""
-    out: Dict[str, Dict[int, Dict[int, float]]] = {}
+    lab = _ensure_lab(lab)
+    page_sizes = (4096, SMALL_PAGE_SIZE)
+    specs: List[RunSpec] = []
     for app in apps:
-        factory = _app_factory(app, scale)
-        out[app] = {}
-        for page_size in (4096, SMALL_PAGE_SIZE):
+        params = APP_PARAMS[scale][app]
+        for page_size in page_sizes:
             config = MachineConfig(page_size=page_size,
                                    network=NetworkConfig.atm())
-            baseline = run_app(factory(), config.replace(nprocs=1))
-            out[app][page_size] = {}
+            specs.append(RunSpec(app, params,
+                                 config=config.replace(nprocs=1)))
             for nprocs in proc_counts:
-                result = run_app(factory(),
-                                 config.replace(nprocs=nprocs),
-                                 protocol="lh")
-                out[app][page_size][nprocs] = \
-                    result.speedup_over(baseline)
+                specs.append(RunSpec(
+                    app, params, protocol="lh",
+                    config=config.replace(nprocs=nprocs)))
+    results = iter(lab.run_many(specs))
+    out: Dict[str, Dict[int, Dict[int, float]]] = {}
+    for app in apps:
+        out[app] = {}
+        for page_size in page_sizes:
+            baseline = next(results)
+            out[app][page_size] = {
+                nprocs: next(results).speedup_over(baseline)
+                for nprocs in proc_counts}
     return out
 
 
 def sync_message_fraction(app: str, protocol: str = "lh",
                           nprocs: int = 16,
-                          scale: str = "bench") -> float:
+                          scale: str = "bench",
+                          lab: Optional[Lab] = None) -> float:
     """Section 6.2's headline statistic: the fraction of all messages
     that exist purely for synchronization (paper: 83% for Water, 96%
     for Cholesky)."""
-    factory = _app_factory(app, scale)
-    result = run_app(factory(),
-                     MachineConfig(nprocs=nprocs,
-                                   network=NetworkConfig.atm()),
-                     protocol=protocol)
+    result = _ensure_lab(lab).run(RunSpec(
+        app, APP_PARAMS[scale][app], protocol=protocol,
+        config=MachineConfig(nprocs=nprocs,
+                             network=NetworkConfig.atm())))
     total = result.metric_total("dsm.messages_total")
     if total == 0:
         return 0.0

@@ -14,53 +14,51 @@ multiply the message count, exactly the tension the paper predicted.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.analysis.experiments import APP_PARAMS
-from repro.apps import create_app
-from repro.core.api import DsmApi
 from repro.core.config import MachineConfig, NetworkConfig
-from repro.core.machine import Machine
 from repro.core.metrics import RunResult
-from repro.core.runner import run_app
+from repro.lab import Lab, RunSpec
+
+
+def _cholesky_spec(nprocs: int, threads: int, scale: str,
+                   protocol: str) -> RunSpec:
+    return RunSpec("cholesky", APP_PARAMS[scale]["cholesky"],
+                   protocol=protocol,
+                   config=MachineConfig(nprocs=nprocs,
+                                        network=NetworkConfig.atm()),
+                   threads_per_proc=threads)
 
 
 def run_threaded_cholesky(nprocs: int, threads: int,
                           scale: str = "bench",
-                          protocol: str = "lh") -> RunResult:
+                          protocol: str = "lh",
+                          lab: Optional[Lab] = None) -> RunResult:
     """Cholesky with ``threads`` worker threads per node."""
-    app = create_app("cholesky", **APP_PARAMS[scale]["cholesky"])
-    machine = Machine(MachineConfig(nprocs=nprocs,
-                                    network=NetworkConfig.atm()),
-                      protocol=protocol)
-    shared = app.setup(machine)
-    if threads == 1:
-        result = machine.run(
-            lambda proc: app.worker(DsmApi(machine.nodes[proc]),
-                                    proc, shared),
-            app=app.name)
-    else:
-        result = machine.run(
-            lambda proc, thread: app.worker_thread(
-                DsmApi(machine.nodes[proc]), proc, thread, shared),
-            threads_per_proc=threads, app=app.name)
-    app.finish(machine, shared, result)
-    return result
+    spec = _cholesky_spec(nprocs, threads, scale, protocol)
+    return (lab if lab is not None else Lab()).run(spec)
 
 
 def multithreading_study(nprocs: int = 8,
                          thread_counts=(1, 2, 4),
                          scale: str = "bench",
-                         protocol: str = "lh"
+                         protocol: str = "lh",
+                         lab: Optional[Lab] = None
                          ) -> Dict[int, Dict[str, float]]:
     """Elapsed time, messages, and lock-wait share of Cholesky as the
     thread count grows.  Returns per-thread-count summaries."""
-    app = create_app("cholesky", **APP_PARAMS[scale]["cholesky"])
-    baseline = run_app(app, MachineConfig(nprocs=1))
+    if lab is None:
+        lab = Lab()
+    specs = [RunSpec("cholesky", APP_PARAMS[scale]["cholesky"],
+                     config=MachineConfig(nprocs=1))]
+    specs += [_cholesky_spec(nprocs, threads, scale, protocol)
+              for threads in thread_counts]
+    results = iter(lab.run_many(specs))
+    baseline = next(results)
     study: Dict[int, Dict[str, float]] = {}
     for threads in thread_counts:
-        result = run_threaded_cholesky(nprocs, threads, scale=scale,
-                                       protocol=protocol)
+        result = next(results)
         breakdown = result.time_breakdown()
         study[threads] = {
             "elapsed_cycles": result.elapsed_cycles,

@@ -18,6 +18,12 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence
 from repro.core.config import MachineConfig, NetworkConfig
 from repro.core.metrics import RunResult
 from repro.core.runner import run_app
+from repro.lab import Lab, RunSpec
+
+#: run-target axis names a :class:`repro.lab.RunSpec` can carry.
+_SPEC_RUN_FIELDS = frozenset({"protocol", "protocol_options",
+                              "lock_broadcast", "threads_per_proc",
+                              "max_events"})
 
 
 @dataclass
@@ -65,14 +71,29 @@ class Sweep:
     >>> records = sweep.run()          # doctest: +SKIP
     """
 
-    def __init__(self, app_factory: Callable,
+    def __init__(self, app_factory: Optional[Callable] = None,
                  base_config: Optional[MachineConfig] = None,
-                 baseline: bool = True) -> None:
+                 baseline: bool = True, *,
+                 app: Optional[str] = None,
+                 app_params: Optional[dict] = None) -> None:
+        if (app_factory is None) == (app is None):
+            raise ValueError("pass exactly one of app_factory or app")
         self.app_factory = app_factory
+        self.app = app
+        self.app_params = dict(app_params or {})
         self.base_config = base_config or MachineConfig(
             network=NetworkConfig.atm())
         self.compute_baseline = baseline
         self.axes: List[SweepAxis] = []
+
+    @classmethod
+    def for_app(cls, name: str, params: Optional[dict] = None,
+                base_config: Optional[MachineConfig] = None,
+                baseline: bool = True) -> "Sweep":
+        """A sweep over a named app, resolvable through a
+        :class:`repro.lab.Lab` (parallel fan-out + result cache)."""
+        return cls(app=name, app_params=params,
+                   base_config=base_config, baseline=baseline)
 
     def axis(self, name: str, values: Sequence,
              target: str = "config",
@@ -83,31 +104,57 @@ class Sweep:
                                    target=target, setter=setter))
         return self
 
-    def run(self) -> List[SweepRecord]:
+    def _resolve(self, settings: Dict[str, object]):
+        """One combo's (config, app_kwargs, run_kwargs)."""
+        config = self.base_config
+        app_kwargs: Dict[str, object] = {}
+        run_kwargs: Dict[str, object] = {}
+        for axis in self.axes:
+            value = settings[axis.name]
+            if axis.setter is not None:
+                config = axis.setter(config, value)
+            elif axis.target == "config":
+                config = config.replace(**{axis.name: value})
+            elif axis.target == "app":
+                app_kwargs[axis.name] = value
+            else:
+                run_kwargs[axis.name] = value
+        return config, app_kwargs, run_kwargs
+
+    @staticmethod
+    def _record(settings: Dict[str, object], result: RunResult,
+                baseline: Optional[RunResult]) -> SweepRecord:
+        return SweepRecord(
+            settings=settings,
+            elapsed_cycles=result.elapsed_cycles,
+            speedup=(result.speedup_over(baseline)
+                     if baseline is not None else None),
+            messages=result.total_messages,
+            sync_messages=result.sync_messages,
+            data_kbytes=result.data_kbytes,
+            access_misses=result.access_misses)
+
+    def run(self, lab: Optional[Lab] = None) -> List[SweepRecord]:
         if not self.axes:
             raise ValueError("sweep has no axes")
+        combos = [dict(combo) for combo in itertools.product(
+            *(axis.entries() for axis in self.axes))]
+        if self.app is not None:
+            return self._run_specs(combos, lab)
+        if lab is not None:
+            raise ValueError(
+                "lab= requires an app-name sweep (Sweep.for_app); "
+                "factory-based sweeps cannot cross process boundaries")
+        return self._run_factory(combos)
+
+    def _run_factory(self, combos) -> List[SweepRecord]:
         records: List[SweepRecord] = []
         baseline_cache: Dict[tuple, RunResult] = {}
-        combos = itertools.product(*(axis.entries()
-                                     for axis in self.axes))
-        for combo in combos:
-            settings = dict(combo)
-            config = self.base_config
-            app_kwargs: Dict[str, object] = {}
-            run_kwargs: Dict[str, object] = {}
-            for axis in self.axes:
-                value = settings[axis.name]
-                if axis.setter is not None:
-                    config = axis.setter(config, value)
-                elif axis.target == "config":
-                    config = config.replace(**{axis.name: value})
-                elif axis.target == "app":
-                    app_kwargs[axis.name] = value
-                else:
-                    run_kwargs[axis.name] = value
+        for settings in combos:
+            config, app_kwargs, run_kwargs = self._resolve(settings)
             result = run_app(self.app_factory(**app_kwargs), config,
                              **run_kwargs)
-            speedup = None
+            baseline = None
             if self.compute_baseline:
                 key = tuple(sorted(app_kwargs.items()))
                 baseline = baseline_cache.get(key)
@@ -116,16 +163,45 @@ class Sweep:
                         self.app_factory(**app_kwargs),
                         config.replace(nprocs=1))
                     baseline_cache[key] = baseline
-                speedup = result.speedup_over(baseline)
-            records.append(SweepRecord(
-                settings=settings,
-                elapsed_cycles=result.elapsed_cycles,
-                speedup=speedup,
-                messages=result.total_messages,
-                sync_messages=result.sync_messages,
-                data_kbytes=result.data_kbytes,
-                access_misses=result.access_misses))
+            records.append(self._record(settings, result, baseline))
         return records
+
+    def _run_specs(self, combos,
+                   lab: Optional[Lab]) -> List[SweepRecord]:
+        """App-name mode: every cell (and each distinct baseline)
+        becomes a :class:`RunSpec` resolved in one ``run_many`` batch,
+        so the grid fans out across cores and repeats hit the cache."""
+        if lab is None:
+            lab = Lab()
+        specs: List[RunSpec] = []
+        main_slots: List[int] = []
+        baseline_slots: Dict[tuple, int] = {}
+        combo_keys: List[Optional[tuple]] = []
+        for settings in combos:
+            config, app_kwargs, run_kwargs = self._resolve(settings)
+            bad = set(run_kwargs) - _SPEC_RUN_FIELDS
+            if bad:
+                raise ValueError(
+                    f"run axes {sorted(bad)} not supported by RunSpec")
+            params = {**self.app_params, **app_kwargs}
+            main_slots.append(len(specs))
+            specs.append(RunSpec(self.app, params, config=config,
+                                 **run_kwargs))
+            key = None
+            if self.compute_baseline:
+                key = tuple(sorted(app_kwargs.items()))
+                if key not in baseline_slots:
+                    baseline_slots[key] = len(specs)
+                    specs.append(RunSpec(
+                        self.app, params,
+                        config=config.replace(nprocs=1)))
+            combo_keys.append(key)
+        results = lab.run_many(specs)
+        return [self._record(settings, results[main_slots[i]],
+                             results[baseline_slots[key]]
+                             if key is not None else None)
+                for i, (settings, key)
+                in enumerate(zip(combos, combo_keys))]
 
 
 def to_csv(records: Iterable[SweepRecord],

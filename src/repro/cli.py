@@ -3,16 +3,24 @@
 Examples::
 
     python -m repro run water --procs 8 --protocol lh
-    python -m repro compare water --procs 16
+    python -m repro compare water --procs 16 --jobs 4
     python -m repro sweep jacobi --protocol lh --procs 1,2,4,8,16
     python -m repro networks --app jacobi
     python -m repro stats jacobi --protocol li --network atm
-    python -m repro report EXPERIMENTS.md
+    python -m repro stats --load result.json --format table
+    python -m repro report EXPERIMENTS.md --jobs 4
+
+Every simulating subcommand resolves its runs through
+:class:`repro.lab.Lab`: ``--jobs N`` fans independent runs across N
+worker processes, and results are memoized in a content-addressed
+cache (``--cache-dir``, default ``.repro-cache/``; ``--no-cache``
+disables it).  See docs/lab.md.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -20,7 +28,9 @@ from repro.analysis.experiments import APP_PARAMS, protocol_sweep
 from repro.apps import APP_NAMES, create_app
 from repro.core.config import (FaultConfig, MachineConfig,
                                NetworkConfig, StallSpec)
-from repro.core.runner import run_app, sequential_baseline
+from repro.core.metrics import RunResult
+from repro.core.runner import run_app
+from repro.lab import DEFAULT_CACHE_DIR, Lab, RunSpec
 from repro.protocols import PROTOCOL_NAMES
 
 
@@ -64,9 +74,38 @@ def _config(args, nprocs: Optional[int] = None) -> MachineConfig:
                          faults=_faults(args))
 
 
+def _lab(args) -> Lab:
+    """The experiment harness configured by the shared CLI flags."""
+    no_cache = getattr(args, "no_cache", False)
+    return Lab(jobs=getattr(args, "jobs", None),
+               cache_dir=getattr(args, "cache_dir", DEFAULT_CACHE_DIR),
+               cache=not no_cache,
+               progress=True)
+
+
+def _spec(args, nprocs: Optional[int] = None,
+          protocol: Optional[str] = None) -> RunSpec:
+    return RunSpec(args.app, APP_PARAMS[args.scale][args.app],
+                   protocol=protocol or args.protocol,
+                   config=_config(args, nprocs=nprocs))
+
+
+def _baseline_spec(args) -> RunSpec:
+    """The 1-processor run used as the speedup denominator (matches
+    :func:`repro.core.runner.sequential_baseline`)."""
+    return RunSpec(args.app, APP_PARAMS[args.scale][args.app],
+                   protocol="lh",
+                   config=_config(args, nprocs=1))
+
+
 def cmd_run(args) -> int:
     """Run one application once and print its metrics."""
-    result = run_app(_app(args), _config(args), protocol=args.protocol)
+    with _lab(args) as lab:
+        specs = [_spec(args)]
+        if args.speedup:
+            specs.append(_baseline_spec(args))
+        results = lab.run_many(specs)
+    result = results[0]
     print(result.summary())
     breakdown = result.time_breakdown()
     print("time breakdown: " + ", ".join(
@@ -80,22 +119,24 @@ def cmd_run(args) -> int:
               "dup_suppressed="
               f"{registry.total('transport.duplicates_suppressed_total'):.0f}")
     if args.speedup:
-        baseline = sequential_baseline(lambda: _app(args),
-                                       _config(args))
         print(f"speedup over sequential: "
-              f"{result.speedup_over(baseline):.2f}x")
+              f"{result.speedup_over(results[1]):.2f}x")
     return 0
 
 
 def cmd_compare(args) -> int:
     """Run one application under all five protocols."""
-    baseline = sequential_baseline(lambda: _app(args), _config(args))
+    with _lab(args) as lab:
+        specs = [_baseline_spec(args)] + [
+            _spec(args, protocol=protocol)
+            for protocol in PROTOCOL_NAMES]
+        results = lab.run_many(specs)
+    baseline = results[0]
     print(f"{args.app} on {args.procs} procs "
           f"({args.network}, {args.bandwidth:.0f} Mbit)")
     print(f"{'proto':>6s} {'speedup':>8s} {'messages':>9s} "
           f"{'data KB':>8s} {'misses':>7s}")
-    for protocol in PROTOCOL_NAMES:
-        result = run_app(_app(args), _config(args), protocol=protocol)
+    for protocol, result in zip(PROTOCOL_NAMES, results[1:]):
         print(f"{protocol:>6s} {result.speedup_over(baseline):8.2f} "
               f"{result.total_messages:9d} {result.data_kbytes:8.1f} "
               f"{result.access_misses:7d}")
@@ -105,9 +146,10 @@ def cmd_compare(args) -> int:
 def cmd_sweep(args) -> int:
     """Speedup curve across processor counts."""
     proc_counts = [int(p) for p in args.proc_list.split(",")]
-    result = protocol_sweep(args.app, _network(args), proc_counts,
-                            protocols=[args.protocol],
-                            scale=args.scale)
+    with _lab(args) as lab:
+        result = protocol_sweep(args.app, _network(args), proc_counts,
+                                protocols=[args.protocol],
+                                scale=args.scale, lab=lab)
     curve = result.curves[args.protocol]
     print(f"{args.app}/{args.protocol} on {args.network}")
     for nprocs in proc_counts:
@@ -120,29 +162,56 @@ def cmd_sweep(args) -> int:
 def cmd_networks(args) -> int:
     """One application across the paper's five networks (Table 2)."""
     from repro.analysis.experiments import TABLE2_NETWORKS
-    factory = lambda: _app(args)  # noqa: E731 - tiny closure
-    baseline = run_app(factory(), MachineConfig(nprocs=1))
+    params = APP_PARAMS[args.scale][args.app]
+    with _lab(args) as lab:
+        specs = [RunSpec(args.app, params,
+                         config=MachineConfig(nprocs=1))]
+        specs += [RunSpec(args.app, params, protocol="lh",
+                          config=MachineConfig(nprocs=args.procs,
+                                               network=network))
+                  for _, network in TABLE2_NETWORKS]
+        results = lab.run_many(specs)
+    baseline = results[0]
     print(f"{args.app} (LH, {args.procs} procs)")
-    for name, network in TABLE2_NETWORKS:
-        config = MachineConfig(nprocs=args.procs, network=network)
-        result = run_app(factory(), config, protocol="lh")
+    for (name, _), result in zip(TABLE2_NETWORKS, results[1:]):
         print(f"{name:<26s} speedup={result.speedup_over(baseline):6.2f}")
     return 0
 
 
 def cmd_stats(args) -> int:
     """Run one application and dump its metrics registry (JSON by
-    default, or a text table), optionally tracing to a JSONL file."""
+    default, or a text table), optionally tracing to a JSONL file; or
+    inspect a result saved earlier with ``--save``/the lab cache via
+    ``--load``."""
     from repro.obs import JsonlSink, Observability, Tracer
 
-    obs = None
-    if args.trace:
+    if args.load:
+        with open(args.load) as handle:
+            data = json.load(handle)
+        if (isinstance(data, dict) and data.get("kind") == "run"
+                and "result" in data):
+            data = data["result"]     # a lab-cache envelope
+        result = RunResult.from_dict(data)
+    elif args.app is None:
+        raise SystemExit("stats: pass an app name or --load FILE")
+    elif args.trace:
+        # Tracing is a side effect of simulating, so a traced run
+        # bypasses the lab cache and always executes in-process.
         obs = Observability(tracer=Tracer(JsonlSink(args.trace)))
-    result = run_app(_app(args), _config(args), protocol=args.protocol,
-                     obs=obs)
-    if obs is not None:
+        result = run_app(_app(args), _config(args),
+                         protocol=args.protocol, obs=obs)
         obs.close()
+    else:
+        with _lab(args) as lab:
+            result = lab.run(_spec(args))
+    if args.save:
+        with open(args.save, "w") as handle:
+            json.dump(result.to_dict(), handle, sort_keys=True)
+            handle.write("\n")
+        print(f"saved result to {args.save}", file=sys.stderr)
     registry = result.registry
+    if registry is None:
+        raise SystemExit("stats: result carries no metrics registry")
     if args.format == "json":
         text = registry.as_json(indent=2)
     else:
@@ -171,8 +240,11 @@ def cmd_losssweep(args) -> int:
             raise SystemExit(f"unknown protocol {protocol!r}")
     print(f"{args.app} on {args.procs} procs ({args.network}), "
           f"loss rates {rates}")
-    results = loss_sweep(lambda: _app(args), _config(args),
-                         rates=rates, protocols=protocols)
+    with _lab(args) as lab:
+        results = loss_sweep(config=_config(args), rates=rates,
+                             protocols=protocols, app=args.app,
+                             app_params=APP_PARAMS[args.scale][args.app],
+                             lab=lab)
     print(format_loss_table(results))
     return 0
 
@@ -180,10 +252,13 @@ def cmd_losssweep(args) -> int:
 def cmd_report(args) -> int:
     """Regenerate the full EXPERIMENTS.md report."""
     from repro.analysis.generate_report import generate
-    report = generate(scale=args.scale)
+    with _lab(args) as lab:
+        report = generate(scale=args.scale, lab=lab)
+        stats_line = lab.format_stats()
     with open(args.output, "w") as handle:
         handle.write(report)
     print(f"wrote {args.output}")
+    print(stats_line)
     return 0
 
 
@@ -194,9 +269,26 @@ def build_parser() -> argparse.ArgumentParser:
                     "(ISCA 1993 reproduction)")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def common(p, with_app=True):
+    def lab_flags(p):
+        p.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help="worker processes for the run matrix "
+                            "(default: run serially in-process)")
+        p.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                       dest="cache_dir", metavar="DIR",
+                       help="content-addressed result cache "
+                            f"(default: {DEFAULT_CACHE_DIR}/)")
+        p.add_argument("--no-cache", action="store_true",
+                       dest="no_cache",
+                       help="always simulate; neither read nor write "
+                            "the result cache")
+
+    def common(p, with_app=True, app_optional=False):
         if with_app:
-            p.add_argument("app", choices=APP_NAMES)
+            if app_optional:
+                p.add_argument("app", nargs="?", choices=APP_NAMES,
+                               default=None)
+            else:
+                p.add_argument("app", choices=APP_NAMES)
         p.add_argument("--procs", type=int, default=8)
         p.add_argument("--protocol", choices=PROTOCOL_NAMES,
                        default="lh")
@@ -226,6 +318,7 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--stall", type=_parse_stall, action="append",
                        metavar="PROC:AT_US:DUR_US",
                        help="inject a CPU stall (repeatable)")
+        lab_flags(p)
 
     p_run = sub.add_parser("run", help=cmd_run.__doc__)
     common(p_run)
@@ -249,13 +342,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_net.set_defaults(func=cmd_networks)
 
     p_stats = sub.add_parser("stats", help=cmd_stats.__doc__)
-    common(p_stats)
+    common(p_stats, app_optional=True)
     p_stats.add_argument("--format", choices=["json", "table"],
                          default="json")
     p_stats.add_argument("--output", default=None,
                          help="write the dump to a file")
     p_stats.add_argument("--trace", default=None, metavar="FILE",
                          help="also record a JSONL event trace")
+    p_stats.add_argument("--save", default=None, metavar="FILE",
+                         help="save the full RunResult as JSON "
+                              "(reloadable with --load)")
+    p_stats.add_argument("--load", default=None, metavar="FILE",
+                         help="inspect a saved RunResult (or lab "
+                              "cache entry) instead of simulating")
     p_stats.set_defaults(func=cmd_stats)
 
     p_loss = sub.add_parser("losssweep", help=cmd_losssweep.__doc__)
@@ -272,6 +371,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep.add_argument("output", nargs="?", default="EXPERIMENTS.md")
     p_rep.add_argument("--scale", choices=["small", "bench", "large"],
                        default="bench")
+    lab_flags(p_rep)
     p_rep.set_defaults(func=cmd_report)
 
     return parser

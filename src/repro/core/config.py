@@ -269,3 +269,27 @@ class MachineConfig:
     def replace(self, **kwargs) -> "MachineConfig":
         """Return a copy with the given fields replaced."""
         return dataclasses.replace(self, **kwargs)
+
+    # -- serialization (repro.lab run-spec fingerprinting) -------------
+
+    def to_dict(self) -> dict:
+        """JSON-ready nested dict of every field.  The canonical form
+        behind :meth:`repro.lab.RunSpec.fingerprint`; keep it total —
+        a field left out would make two different machines collide in
+        the result cache."""
+        return dataclasses.asdict(self)
+
+    @staticmethod
+    def from_dict(data: dict) -> "MachineConfig":
+        """Inverse of :meth:`to_dict` (rebuilds the nested configs)."""
+        data = dict(data)
+        data["network"] = NetworkConfig(**data["network"])
+        data["overhead"] = OverheadConfig(**data["overhead"])
+        faults = dict(data["faults"])
+        faults["stalls"] = tuple(StallSpec(**s)
+                                 for s in faults.get("stalls", ()))
+        faults["links"] = tuple(LinkFault(**l)
+                                for l in faults.get("links", ()))
+        data["faults"] = FaultConfig(**faults)
+        data["transport"] = TransportConfig(**data["transport"])
+        return MachineConfig(**data)

@@ -8,11 +8,39 @@ lock acquisition, barrier waits, software overhead).
 
 from __future__ import annotations
 
+import dataclasses
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, List
 
 from repro.net.message import Message, MsgKind
+
+
+def json_safe(obj):
+    """Best-effort conversion to JSON-serializable types (numpy
+    scalars/arrays become python numbers/lists, tuples become lists,
+    sets are sorted).  Idempotent, so a round-tripped value converts
+    to itself — the property the lab cache relies on."""
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, dict):
+        return {str(key): json_safe(value)
+                for key, value in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [json_safe(item) for item in obj]
+    if isinstance(obj, (set, frozenset)):
+        return sorted((json_safe(item) for item in obj),
+                      key=lambda x: (str(type(x)), str(x)))
+    if hasattr(obj, "item") and hasattr(obj, "dtype"):  # numpy scalar
+        try:
+            return json_safe(obj.item())
+        except (TypeError, ValueError):
+            pass
+    if hasattr(obj, "tolist"):  # numpy array
+        return json_safe(obj.tolist())
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return json_safe(dataclasses.asdict(obj))
+    return repr(obj)
 
 
 @dataclass
@@ -54,6 +82,25 @@ class NodeMetrics:
     def sync_messages(self) -> int:
         return sum(count for kind, count in self.messages_sent.items()
                    if kind.is_synchronization)
+
+    # -- serialization (repro.lab result cache) ------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-ready dump; :meth:`from_dict` is the exact inverse."""
+        data = dataclasses.asdict(self)
+        data["messages_sent"] = {
+            kind.value: count
+            for kind, count in sorted(self.messages_sent.items(),
+                                      key=lambda kv: kv[0].value)}
+        return data
+
+    @staticmethod
+    def from_dict(data: dict) -> "NodeMetrics":
+        data = dict(data)
+        data["messages_sent"] = Counter(
+            {MsgKind(kind): count
+             for kind, count in data["messages_sent"].items()})
+        return NodeMetrics(**data)
 
 
 @dataclass
@@ -107,6 +154,62 @@ class RunResult:
         for metrics in self.node_metrics:
             total.update(metrics.messages_sent)
         return dict(total)
+
+    # -- serialization (repro.lab result cache) ------------------------
+
+    #: Bumped whenever the serialized layout changes; the lab cache
+    #: refuses dumps from another schema generation.
+    SCHEMA_VERSION = 1
+
+    def to_dict(self) -> dict:
+        """JSON-ready dump of the whole result, metrics registry
+        included, so results can cross process boundaries and
+        sessions (see docs/lab.md).  ``app_result`` goes through
+        :func:`json_safe`; everything else round-trips exactly
+        (JSON floats preserve the full double)."""
+        return {
+            "schema": RunResult.SCHEMA_VERSION,
+            "app": self.app,
+            "protocol": self.protocol,
+            "nprocs": self.nprocs,
+            "elapsed_cycles": self.elapsed_cycles,
+            "node_metrics": [m.to_dict() for m in self.node_metrics],
+            "network_messages": self.network_messages,
+            "network_bytes": self.network_bytes,
+            "network_contention_cycles":
+                self.network_contention_cycles,
+            "app_result": json_safe(self.app_result),
+            "registry": (self.registry.dump()
+                         if self.registry is not None else None),
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "RunResult":
+        """Rebuild a result (and its readable metrics registry) from
+        :meth:`to_dict` output."""
+        schema = data.get("schema")
+        if schema != RunResult.SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported RunResult schema {schema!r} "
+                f"(expected {RunResult.SCHEMA_VERSION})")
+        registry = None
+        if data.get("registry") is not None:
+            from repro.obs import MetricsRegistry
+            registry = MetricsRegistry.from_dump(data["registry"])
+        return RunResult(
+            app=data["app"],
+            protocol=data["protocol"],
+            nprocs=data["nprocs"],
+            elapsed_cycles=data["elapsed_cycles"],
+            node_metrics=[NodeMetrics.from_dict(m)
+                          for m in data["node_metrics"]],
+            network_messages=data["network_messages"],
+            network_bytes=data["network_bytes"],
+            network_contention_cycles=
+                data["network_contention_cycles"],
+            app_result=data.get("app_result"),
+            registry=registry,
+        )
 
     # -- registry readers (repro.obs) ----------------------------------
 

@@ -1,0 +1,391 @@
+"""The experiment harness: fan run specs out, cache every result.
+
+One :class:`Lab` owns three tiers of result resolution:
+
+1. an **in-memory memo** (per-``Lab`` dict) — dedupes identical specs
+   within a session, e.g. the one-processor baselines every figure
+   driver needs;
+2. the **on-disk content-addressed cache** (optional ``cache_dir``) —
+   survives across processes and sessions;
+3. **execution**, either in-process (``jobs=None``) or across a
+   ``concurrent.futures`` process pool with failure isolation and
+   bounded retries.
+
+Everything the harness does is observable through its own
+``lab.*``-catalogued :class:`repro.obs.MetricsRegistry` (jobs run,
+cache hits per tier, retries, failures, wall time, worker
+utilization) — the warm-cache CI gate and ``BENCH_lab.json`` read it.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, \
+    wait
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.metrics import RunResult, json_safe
+from repro.lab.cache import ResultCache
+from repro.lab.spec import (RunSpec, execute_spec,
+                            payload_fingerprint)
+from repro.obs import MetricsRegistry, install_lab
+
+#: Default on-disk cache location (CLI ``--cache-dir`` default).
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+class LabError(RuntimeError):
+    """One or more runs failed every allowed attempt."""
+
+    def __init__(self, failures: Sequence["LabFailure"]) -> None:
+        self.failures = list(failures)
+        lines = [f"{len(self.failures)} run(s) failed:"]
+        for failure in self.failures[:5]:
+            lines.append(f"  {failure.spec.label()}: {failure.error}")
+        if len(self.failures) > 5:
+            lines.append(f"  ... and {len(self.failures) - 5} more")
+        super().__init__("\n".join(lines))
+
+
+@dataclass
+class LabFailure:
+    """Terminal failure record for one spec (strict=False slots)."""
+
+    spec: RunSpec
+    fingerprint: str
+    error: str
+    traceback: str
+    attempts: int
+
+
+def _execute_payload(payload: dict) -> dict:
+    """Process-pool worker: runs one serialized spec and ships the
+    serialized result back.  Must stay a module-level function so the
+    pool can pickle it; exceptions are caught and reported as data so
+    one crashed run never kills the batch."""
+    started = time.perf_counter()
+    try:
+        spec = RunSpec.from_dict(payload["spec"])
+        result = execute_spec(spec)
+        return {"fingerprint": payload["fingerprint"], "ok": True,
+                "result": result.to_dict(),
+                "seconds": time.perf_counter() - started}
+    except BaseException as exc:  # noqa: BLE001 - isolation boundary
+        return {"fingerprint": payload["fingerprint"], "ok": False,
+                "error": f"{type(exc).__name__}: {exc}",
+                "traceback": traceback.format_exc(),
+                "seconds": time.perf_counter() - started}
+
+
+class Lab:
+    """Parallel experiment runner with a content-addressed cache.
+
+    >>> lab = Lab(jobs=4, cache_dir=".repro-cache")
+    >>> results = lab.run_many([RunSpec("jacobi", {"n": 48, ...})])
+
+    ``jobs=None`` (the default) executes misses serially in-process —
+    the right mode for library callers and tests; any integer >= 1
+    spins up a process pool of that size.  ``cache=False`` disables
+    memoization entirely (every spec executes); ``cache_dir=None``
+    keeps the memo but skips the disk tier.
+    """
+
+    def __init__(self, jobs: Optional[int] = None,
+                 cache_dir: Optional[str] = None, cache: bool = True,
+                 retries: int = 1, progress: bool = False,
+                 registry: Optional[MetricsRegistry] = None) -> None:
+        if jobs is not None and jobs < 1:
+            raise ValueError("jobs must be >= 1 (or None for serial)")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        self.jobs = jobs
+        self.use_cache = cache
+        self.disk = (ResultCache(cache_dir)
+                     if cache and cache_dir else None)
+        self.retries = retries
+        self.progress = progress
+        self._memo: Dict[str, RunResult] = {}
+        self._payload_memo: Dict[str, object] = {}
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+        self.registry = registry or MetricsRegistry(
+            const_labels={"subsystem": "lab"})
+        install_lab(self.registry)
+        reg = self.registry
+        self._m_executed = reg.get("lab.jobs_executed_total")
+        self._m_hits_memory = reg.get("lab.cache_hits_total").labels(
+            tier="memory")
+        self._m_hits_disk = reg.get("lab.cache_hits_total").labels(
+            tier="disk")
+        self._m_misses = reg.get("lab.cache_misses_total")
+        self._m_retries = reg.get("lab.retries_total")
+        self._m_failures = reg.get("lab.failures_total")
+        self._m_wall = reg.get("lab.wall_seconds_total")
+        self._m_run_seconds = reg.get("lab.run_seconds")
+        self._m_utilization = reg.get("lab.worker_utilization")
+
+    # -- lifecycle -----------------------------------------------------
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "Lab":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _executor(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+        return self._pool
+
+    # -- running specs -------------------------------------------------
+
+    def run(self, spec: RunSpec) -> RunResult:
+        """Resolve one spec (cache or execute)."""
+        return self.run_many([spec])[0]
+
+    def run_many(self, specs: Sequence[RunSpec], strict: bool = True
+                 ) -> List[Optional[RunResult]]:
+        """Resolve every spec, order-preserving.
+
+        Identical specs (same fingerprint) simulate at most once per
+        batch.  A run that fails every attempt is *reported*, never
+        fatal to its siblings: with ``strict=True`` (default) a
+        :class:`LabError` is raised after the whole batch settles;
+        with ``strict=False`` the failing slots hold
+        :class:`LabFailure` markers exposed via :attr:`failures` and
+        the returned list carries ``None`` there."""
+        started = time.perf_counter()
+        specs = list(specs)
+        fingerprints = [spec.fingerprint() for spec in specs]
+        self.failures: List[LabFailure] = []
+
+        resolved: Dict[str, RunResult] = {}
+        to_run: Dict[str, RunSpec] = {}
+        for spec, fingerprint in zip(specs, fingerprints):
+            if fingerprint in resolved or fingerprint in to_run:
+                continue  # batch-level dedupe
+            hit = self._lookup(fingerprint)
+            if hit is not None:
+                resolved[fingerprint] = hit
+            else:
+                if self.use_cache:
+                    self._m_misses.inc()
+                to_run[fingerprint] = spec
+
+        failed: Dict[str, LabFailure] = {}
+        busy_seconds = 0.0
+        if to_run:
+            if self.jobs is None:
+                busy_seconds = self._run_serial(to_run, resolved,
+                                                failed)
+            else:
+                busy_seconds = self._run_pool(to_run, resolved,
+                                              failed,
+                                              hits=len(resolved),
+                                              total=len(to_run))
+
+        wall = time.perf_counter() - started
+        self._m_wall.inc(wall)
+        pool_size = 1 if self.jobs is None else self.jobs
+        if to_run and wall > 0:
+            self._m_utilization.set(
+                min(1.0, busy_seconds / (wall * pool_size)))
+
+        self.failures = list(failed.values())
+        if self.failures and strict:
+            raise LabError(self.failures)
+        return [resolved.get(fingerprint)
+                for fingerprint in fingerprints]
+
+    # -- execution strategies ------------------------------------------
+
+    def _run_serial(self, to_run, resolved, failed) -> float:
+        busy = 0.0
+        for fingerprint, spec in to_run.items():
+            for attempt in range(1 + self.retries):
+                if attempt:
+                    self._m_retries.inc()
+                started = time.perf_counter()
+                try:
+                    result = execute_spec(spec)
+                except BaseException as exc:  # noqa: BLE001
+                    busy += time.perf_counter() - started
+                    failure = LabFailure(
+                        spec=spec, fingerprint=fingerprint,
+                        error=f"{type(exc).__name__}: {exc}",
+                        traceback=traceback.format_exc(),
+                        attempts=attempt + 1)
+                    continue
+                seconds = time.perf_counter() - started
+                busy += seconds
+                self._record_success(fingerprint, spec, result,
+                                     seconds, resolved)
+                failed.pop(fingerprint, None)
+                break
+            else:
+                failed[fingerprint] = failure
+                self._m_failures.inc()
+        return busy
+
+    def _run_pool(self, to_run, resolved, failed, hits: int,
+                  total: int) -> float:
+        busy = 0.0
+        attempts = {fp: 1 for fp in to_run}
+        pending = {}
+        for fingerprint, spec in to_run.items():
+            future = self._executor().submit(
+                _execute_payload, {"fingerprint": fingerprint,
+                                   "spec": spec.to_dict()})
+            pending[future] = fingerprint
+        done_count = 0
+        while pending:
+            done, _ = wait(list(pending),
+                           return_when=FIRST_COMPLETED)
+            for future in done:
+                fingerprint = pending.pop(future)
+                spec = to_run[fingerprint]
+                try:
+                    outcome = future.result()
+                except BaseException as exc:  # noqa: BLE001
+                    # The pool itself broke (worker killed, pickling
+                    # error, ...): rebuild it before any retry.
+                    outcome = {"ok": False,
+                               "error": f"{type(exc).__name__}: {exc}",
+                               "traceback": traceback.format_exc(),
+                               "seconds": 0.0}
+                    self.close()
+                busy += outcome.get("seconds", 0.0)
+                if outcome["ok"]:
+                    result = RunResult.from_dict(outcome["result"])
+                    self._record_success(fingerprint, spec, result,
+                                         outcome["seconds"], resolved)
+                    failed.pop(fingerprint, None)
+                    done_count += 1
+                    self._progress_line(done_count, total, hits,
+                                        len(failed))
+                elif attempts[fingerprint] <= self.retries:
+                    attempts[fingerprint] += 1
+                    self._m_retries.inc()
+                    retry = self._executor().submit(
+                        _execute_payload,
+                        {"fingerprint": fingerprint,
+                         "spec": spec.to_dict()})
+                    pending[retry] = fingerprint
+                else:
+                    failed[fingerprint] = LabFailure(
+                        spec=spec, fingerprint=fingerprint,
+                        error=outcome["error"],
+                        traceback=outcome.get("traceback", ""),
+                        attempts=attempts[fingerprint])
+                    self._m_failures.inc()
+                    done_count += 1
+                    self._progress_line(done_count, total, hits,
+                                        len(failed))
+        return busy
+
+    # -- bookkeeping ---------------------------------------------------
+
+    def _lookup(self, fingerprint: str) -> Optional[RunResult]:
+        if not self.use_cache:
+            return None
+        result = self._memo.get(fingerprint)
+        if result is not None:
+            self._m_hits_memory.inc()
+            return result
+        if self.disk is not None:
+            result = self.disk.get(fingerprint)
+            if result is not None:
+                self._m_hits_disk.inc()
+                self._memo[fingerprint] = result
+                return result
+        return None
+
+    def _record_success(self, fingerprint: str, spec: RunSpec,
+                        result: RunResult, seconds: float,
+                        resolved: Dict[str, RunResult]) -> None:
+        self._m_executed.inc()
+        self._m_run_seconds.observe(seconds)
+        resolved[fingerprint] = result
+        if self.use_cache:
+            self._memo[fingerprint] = result
+            if self.disk is not None:
+                self.disk.put(fingerprint, result, spec=spec)
+
+    def _progress_line(self, done: int, total: int, hits: int,
+                       failures: int) -> None:
+        if not self.progress or total <= 1:
+            return
+        print(f"[lab] {done}/{total} executed "
+              f"({hits} cached, {failures} failed)",
+              file=sys.stderr, flush=True)
+
+    # -- generic cached computations -----------------------------------
+
+    def cached(self, kind: str, params: dict,
+               compute: Callable[[], object]):
+        """Content-addressed memo for arbitrary JSON-safe values —
+        for drivers whose unit of work is not a single
+        :class:`RunSpec` (e.g. Table 1's micro-scenarios).  The key
+        commits to ``kind``, ``params``, and the code version, with
+        the same invalidation rules as run specs."""
+        fingerprint = payload_fingerprint(kind, params)
+        if self.use_cache:
+            if fingerprint in self._payload_memo:
+                self._m_hits_memory.inc()
+                return self._payload_memo[fingerprint]
+            if self.disk is not None:
+                payload = self.disk.get_payload(fingerprint)
+                if payload is not None:
+                    self._m_hits_disk.inc()
+                    self._payload_memo[fingerprint] = payload
+                    return payload
+            self._m_misses.inc()
+        value = json_safe(compute())
+        self._m_executed.inc()
+        if self.use_cache:
+            self._payload_memo[fingerprint] = value
+            if self.disk is not None:
+                self.disk.put_payload(fingerprint, value,
+                                      kind_label=kind)
+        return value
+
+    # -- reading back --------------------------------------------------
+
+    def stats(self) -> Dict[str, float]:
+        """Harness counters as a flat dict (see docs/lab.md)."""
+        reg = self.registry
+        return {
+            "executed": reg.total("lab.jobs_executed_total"),
+            "cache_hits_memory":
+                reg.by_label("lab.cache_hits_total",
+                             "tier").get("memory", 0),
+            "cache_hits_disk":
+                reg.by_label("lab.cache_hits_total",
+                             "tier").get("disk", 0),
+            "cache_misses": reg.total("lab.cache_misses_total"),
+            "retries": reg.total("lab.retries_total"),
+            "failures": reg.total("lab.failures_total"),
+            "wall_seconds": reg.total("lab.wall_seconds_total"),
+            "worker_utilization":
+                reg.total("lab.worker_utilization"),
+        }
+
+    def format_stats(self) -> str:
+        """One-line summary for CLI output and the CI gate."""
+        stats = self.stats()
+        hits = (stats["cache_hits_memory"]
+                + stats["cache_hits_disk"])
+        return (f"lab: executed {stats['executed']:.0f}, "
+                f"cache hits {hits:.0f} "
+                f"(memory {stats['cache_hits_memory']:.0f}, "
+                f"disk {stats['cache_hits_disk']:.0f}), "
+                f"failures {stats['failures']:.0f}, "
+                f"wall {stats['wall_seconds']:.1f}s")

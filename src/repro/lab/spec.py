@@ -1,0 +1,158 @@
+"""Run specifications and deterministic fingerprinting.
+
+A :class:`RunSpec` is the *complete* description of one simulated run:
+application + parameters, protocol, :class:`repro.MachineConfig`
+(network, overheads, fault plan, transport tuning, seed), protocol
+options, and execution knobs.  Because the simulator is deterministic
+(the cross-process gate in ``tests/properties`` pins this), the spec
+fully determines the :class:`repro.RunResult` — which is what makes
+content-addressed caching safe.
+
+The cache key is ``sha256(canonical-spec-JSON + code-version)``; the
+code version hashes every ``repro`` source file, so *any* change to
+the simulator invalidates every cached result (see docs/lab.md for
+the invalidation rules).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+from repro.core.config import MachineConfig
+from repro.core.metrics import RunResult, json_safe
+
+_code_version_cache: Optional[str] = None
+
+
+def code_version() -> str:
+    """SHA-256 over every ``.py`` file of the installed ``repro``
+    package (sorted by relative path).  Computed once per process;
+    override with ``REPRO_CODE_VERSION`` to pin or bust caches by
+    hand."""
+    global _code_version_cache
+    override = os.environ.get("REPRO_CODE_VERSION")
+    if override:
+        return override
+    if _code_version_cache is None:
+        import repro
+        root = Path(repro.__file__).resolve().parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            if "__pycache__" in path.parts:
+                continue
+            digest.update(str(path.relative_to(root)).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _code_version_cache = digest.hexdigest()
+    return _code_version_cache
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Everything needed to reproduce one simulated run."""
+
+    app: str
+    app_params: dict = field(default_factory=dict)
+    protocol: str = "lh"
+    config: MachineConfig = field(default_factory=MachineConfig)
+    protocol_options: Optional[dict] = None
+    lock_broadcast: bool = False
+    threads_per_proc: int = 1
+    max_events: Optional[int] = None
+
+    def to_dict(self) -> dict:
+        """Canonical JSON-ready form (``protocol_options=None`` and
+        ``{}`` normalize to the same spec)."""
+        return {
+            "app": self.app,
+            "app_params": json_safe(dict(self.app_params)),
+            "protocol": self.protocol,
+            "config": self.config.to_dict(),
+            "protocol_options": json_safe(
+                dict(self.protocol_options or {})),
+            "lock_broadcast": bool(self.lock_broadcast),
+            "threads_per_proc": self.threads_per_proc,
+            "max_events": self.max_events,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "RunSpec":
+        return RunSpec(
+            app=data["app"],
+            app_params=dict(data.get("app_params", {})),
+            protocol=data.get("protocol", "lh"),
+            config=MachineConfig.from_dict(data["config"]),
+            protocol_options=dict(data["protocol_options"])
+                if data.get("protocol_options") else None,
+            lock_broadcast=data.get("lock_broadcast", False),
+            threads_per_proc=data.get("threads_per_proc", 1),
+            max_events=data.get("max_events"),
+        )
+
+    def canonical(self) -> str:
+        """Canonical JSON: sorted keys, no whitespace variance."""
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    def fingerprint(self, version: Optional[str] = None) -> str:
+        """Content address of this run under the given (default:
+        current) code version."""
+        payload = (self.canonical() + "\0"
+                   + (version if version is not None
+                      else code_version()))
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def label(self) -> str:
+        """Short human-readable tag for progress lines and errors."""
+        return (f"{self.app}/{self.protocol}"
+                f"@{self.config.nprocs}p/{self.config.network.kind}")
+
+
+def payload_fingerprint(kind: str, params: dict,
+                        version: Optional[str] = None) -> str:
+    """Content address for a non-RunResult cached computation (e.g.
+    one Table 1 micro-scenario): the analogue of
+    :meth:`RunSpec.fingerprint` for arbitrary JSON payloads."""
+    canonical = json.dumps({"kind": kind,
+                            "params": json_safe(params)},
+                           sort_keys=True, separators=(",", ":"))
+    payload = (canonical + "\0"
+               + (version if version is not None else code_version()))
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def execute_spec(spec: RunSpec) -> RunResult:
+    """Run one spec in this process (workers and the serial path both
+    land here)."""
+    from repro.apps import create_app
+    from repro.core.runner import run_app
+
+    app = create_app(spec.app, **spec.app_params)
+    if spec.threads_per_proc == 1:
+        return run_app(app, spec.config, protocol=spec.protocol,
+                       max_events=spec.max_events,
+                       protocol_options=spec.protocol_options,
+                       lock_broadcast=spec.lock_broadcast)
+
+    # The multithreading extension (paper section 8): each node runs
+    # ``threads_per_proc`` generators from ``app.worker_thread``.
+    from repro.core.api import DsmApi
+    from repro.core.machine import Machine
+
+    machine = Machine(spec.config, protocol=spec.protocol,
+                      protocol_options=spec.protocol_options,
+                      lock_broadcast=spec.lock_broadcast)
+    shared = app.setup(machine)
+    result = machine.run(
+        lambda proc, thread: app.worker_thread(
+            DsmApi(machine.nodes[proc]), proc, thread, shared),
+        threads_per_proc=spec.threads_per_proc,
+        max_events=spec.max_events, app=app.name)
+    app.finish(machine, shared, result)
+    return result

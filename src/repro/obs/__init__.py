@@ -13,10 +13,10 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
-from repro.obs.catalog import (CATALOG, CATALOG_BY_NAME,
+from repro.obs.catalog import (CATALOG, CATALOG_BY_NAME, LAB_CATALOG,
                                ROBUSTNESS_CATALOG, MetricSpec,
                                SYNC_MSG_TYPES, install_catalog,
-                               install_robustness)
+                               install_lab, install_robustness)
 from repro.obs.registry import (DEFAULT_BUCKETS, Metric, MetricError,
                                 MetricsRegistry)
 from repro.obs.timers import Span
@@ -26,11 +26,11 @@ from repro.obs.tracer import (JsonlSink, MemorySink, NullSink,
 
 __all__ = [
     "CATALOG", "CATALOG_BY_NAME", "DEFAULT_BUCKETS", "JsonlSink",
-    "MemorySink", "Metric", "MetricError", "MetricSpec",
+    "LAB_CATALOG", "MemorySink", "Metric", "MetricError", "MetricSpec",
     "MetricsRegistry", "NodeInstruments", "NullSink", "Observability",
     "ROBUSTNESS_CATALOG", "SYNC_MSG_TYPES", "Span", "TraceEvent",
-    "TraceSink", "Tracer", "install_catalog", "install_robustness",
-    "read_jsonl",
+    "TraceSink", "Tracer", "install_catalog", "install_lab",
+    "install_robustness", "read_jsonl",
 ]
 
 

@@ -197,8 +197,39 @@ ROBUSTNESS_CATALOG: Tuple[MetricSpec, ...] = (
           "one retransmission.", consumers=("loss sweep",)),
 )
 
+#: Metrics of the experiment harness (:mod:`repro.lab`, see
+#: docs/lab.md).  Like the robustness catalogue these stay out of
+#: :data:`CATALOG`: they describe the *harness* (real wall-clock, not
+#: simulated cycles) and live on the lab's own registry, never on a
+#: machine run's, so per-run stats dumps are unchanged.
+LAB_CATALOG: Tuple[MetricSpec, ...] = (
+    _spec("lab.jobs_executed_total", COUNTER, "runs",
+          "Run specs actually simulated (cache misses that ran).",
+          consumers=("warm-cache CI gate", "BENCH_lab")),
+    _spec("lab.cache_hits_total", COUNTER, "runs",
+          "Run specs satisfied without simulating, by cache tier.",
+          labels=("tier",),
+          consumers=("warm-cache CI gate", "BENCH_lab")),
+    _spec("lab.cache_misses_total", COUNTER, "runs",
+          "Run specs found in neither cache tier."),
+    _spec("lab.retries_total", COUNTER, "attempts",
+          "Extra execution attempts after a worker failure."),
+    _spec("lab.failures_total", COUNTER, "runs",
+          "Run specs that failed every allowed attempt."),
+    _spec("lab.wall_seconds_total", COUNTER, "seconds",
+          "Real wall-clock time spent inside Lab.run_many.",
+          consumers=("BENCH_lab",)),
+    _spec("lab.run_seconds", HISTOGRAM, "seconds",
+          "Per-run execution wall time, measured in the worker."),
+    _spec("lab.worker_utilization", GAUGE, "ratio",
+          "Busy-worker seconds over wall seconds x pool size, for "
+          "the latest parallel batch.",
+          consumers=("BENCH_lab",)),
+)
+
 CATALOG_BY_NAME: Dict[str, MetricSpec] = {
-    spec.name: spec for spec in CATALOG + ROBUSTNESS_CATALOG}
+    spec.name: spec
+    for spec in CATALOG + ROBUSTNESS_CATALOG + LAB_CATALOG}
 
 #: ``dsm.messages_total`` msg_type label values that count as
 #: synchronization traffic (mirrors ``MsgKind.is_synchronization``).
@@ -218,4 +249,11 @@ def install_robustness(registry) -> None:
     injector and the reliable transport when they are constructed, so
     these series appear in dumps exactly when the subsystem is on."""
     for spec in ROBUSTNESS_CATALOG:
+        registry.from_spec(spec)
+
+
+def install_lab(registry) -> None:
+    """Instantiate the experiment-harness metrics on a (lab-owned)
+    registry."""
+    for spec in LAB_CATALOG:
         registry.from_spec(spec)

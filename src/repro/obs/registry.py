@@ -247,6 +247,49 @@ class MetricsRegistry:
     def by_label(self, name: str, label: str) -> Dict[str, float]:
         return self.get(name).by_label(label)
 
+    # -- restoring (repro.lab result cache) ----------------------------
+
+    @classmethod
+    def from_dump(cls, data: dict) -> "MetricsRegistry":
+        """Rebuild a readable registry from :meth:`dump` output, so a
+        cached :class:`repro.RunResult` answers ``metric_total`` /
+        ``metric_by`` exactly like the live run did.  Re-dumping the
+        restored registry reproduces ``data`` (the lab determinism
+        tests pin this)."""
+        registry = cls(const_labels=data.get("const_labels"))
+        for entry in data.get("metrics", ()):
+            spec = CATALOG_BY_NAME.get(entry["name"])
+            if spec is None or spec.kind != entry["type"]:
+                spec = MetricSpec(
+                    name=entry["name"], kind=entry["type"],
+                    unit=entry["unit"],
+                    description=entry["description"],
+                    labels=tuple(entry["labels"]),
+                    consumers=tuple(entry["consumers"]))
+            buckets = None
+            if entry["type"] == HISTOGRAM and entry["series"]:
+                # Sorted numerically: JSON stores (and sort_keys
+                # reorders) bucket bounds as string keys.
+                buckets = tuple(sorted(
+                    float(bound)
+                    for bound in entry["series"][0]["buckets"]
+                    if bound != "+inf"))
+            metric = registry.from_spec(spec, buckets=buckets)
+            for series in entry["series"]:
+                child = metric.labels(**series["labels"])
+                if entry["type"] == HISTOGRAM:
+                    child.count = series["count"]
+                    child.sum = series["sum"]
+                    child.min = series["min"]
+                    child.max = series["max"]
+                    child.buckets = [
+                        series["buckets"][bound]
+                        for bound in (*map(str, child.bounds),
+                                      "+inf")]
+                else:
+                    child.value = series["value"]
+        return registry
+
     # -- export --------------------------------------------------------
 
     def dump(self) -> dict:
@@ -258,6 +301,10 @@ class MetricsRegistry:
             spec = metric.spec
             series = []
             for labelvalues, child in metric.series():
+                # Sorted label keys keep the dump canonical: identical
+                # bytes whether it comes from a live run or back off
+                # the lab cache (which stores JSON with sorted keys).
+                labelvalues = dict(sorted(labelvalues.items()))
                 if spec.kind == HISTOGRAM:
                     entry = {"labels": labelvalues,
                              **child.snapshot()}
@@ -274,7 +321,7 @@ class MetricsRegistry:
                 "total": metric.total(),
                 "series": series,
             })
-        return {"const_labels": dict(self.const_labels),
+        return {"const_labels": dict(sorted(self.const_labels.items())),
                 "metrics": metrics}
 
     def as_json(self, indent: int = 2) -> str:

@@ -86,7 +86,59 @@ def test_losssweep_command(capsys):
 
 def test_report_command(tmp_path, capsys):
     target = tmp_path / "report.md"
-    assert main(["report", str(target), "--scale", "small"]) == 0
+    assert main(["report", str(target), "--scale", "small",
+                 "--no-cache"]) == 0
     text = target.read_text()
     assert "# EXPERIMENTS" in text
     assert "Table 2" in text
+
+
+def test_report_warm_cache_executes_nothing(tmp_path, capsys):
+    cache = tmp_path / "cache"
+    cold = tmp_path / "cold.md"
+    warm = tmp_path / "warm.md"
+    assert main(["report", str(cold), "--scale", "small",
+                 "--cache-dir", str(cache)]) == 0
+    capsys.readouterr()
+    assert main(["report", str(warm), "--scale", "small",
+                 "--cache-dir", str(cache)]) == 0
+    out = capsys.readouterr().out
+    assert "lab: executed 0, " in out      # zero simulations re-run
+    assert warm.read_bytes() == cold.read_bytes()
+
+
+def test_stats_save_load_roundtrip(tmp_path, capsys):
+    saved = tmp_path / "result.json"
+    assert main(["stats", "jacobi", "--procs", "2", "--scale",
+                 "small", "--no-cache", "--save", str(saved)]) == 0
+    first = capsys.readouterr().out
+    assert saved.exists()
+    assert main(["stats", "--load", str(saved)]) == 0
+    assert capsys.readouterr().out == first
+
+
+def test_stats_load_accepts_cache_envelopes(tmp_path, capsys):
+    cache = tmp_path / "cache"
+    assert main(["stats", "jacobi", "--procs", "2", "--scale",
+                 "small", "--cache-dir", str(cache)]) == 0
+    capsys.readouterr()
+    entries = list(cache.glob("??/*.json"))
+    assert entries
+    assert main(["stats", "--load", str(entries[0]),
+                 "--format", "table"]) == 0
+    assert "dsm.messages_total" in capsys.readouterr().out
+
+
+def test_stats_requires_app_or_load(capsys):
+    with pytest.raises(SystemExit):
+        main(["stats"])
+
+
+def test_cached_cli_run_is_identical(tmp_path, capsys):
+    cache = tmp_path / "cache"
+    args = ["run", "water", "--procs", "2", "--scale", "small",
+            "--cache-dir", str(cache)]
+    assert main(args) == 0
+    first = capsys.readouterr().out
+    assert main(args) == 0                 # served from the cache
+    assert capsys.readouterr().out == first

@@ -1,0 +1,158 @@
+"""Lab harness: dedupe, cache tiers, failure isolation, parallelism.
+
+Everything here runs at the small preset so the whole module stays in
+tier-1 time.  The acceptance-level parallel-speedup claims live in CI
+and ``benchmarks/test_lab.py``; what must hold *everywhere* is
+equivalence: serial, pooled, and cache-served resolution produce
+byte-identical results.
+"""
+
+import json
+
+import pytest
+
+from repro.core.config import MachineConfig, NetworkConfig
+from repro.lab import Lab, LabError, RunSpec
+
+SMALL = {"n": 24, "iterations": 2}
+
+
+def _spec(nprocs=2, protocol="lh", **overrides) -> RunSpec:
+    kwargs = dict(app="jacobi", app_params=SMALL, protocol=protocol,
+                  config=MachineConfig(nprocs=nprocs,
+                                       network=NetworkConfig.atm()))
+    kwargs.update(overrides)
+    return RunSpec(**kwargs)
+
+
+def _dump(result) -> str:
+    return json.dumps(result.to_dict(), sort_keys=True)
+
+
+def test_batch_dedupes_identical_specs():
+    lab = Lab()
+    a, b = lab.run_many([_spec(), _spec()])
+    assert _dump(a) == _dump(b)
+    stats = lab.stats()
+    assert stats["executed"] == 1
+    assert stats["cache_misses"] == 1
+
+
+def test_memo_serves_repeat_runs():
+    lab = Lab()
+    first = lab.run(_spec())
+    again = lab.run(_spec())
+    assert _dump(first) == _dump(again)
+    stats = lab.stats()
+    assert stats["executed"] == 1
+    assert stats["cache_hits_memory"] == 1
+
+
+def test_disk_tier_survives_lab_instances(tmp_path):
+    with Lab(cache_dir=tmp_path) as lab:
+        first = lab.run(_spec())
+        assert lab.stats()["executed"] == 1
+    with Lab(cache_dir=tmp_path) as lab:
+        again = lab.run(_spec())
+        stats = lab.stats()
+    assert _dump(again) == _dump(first)
+    assert stats["executed"] == 0
+    assert stats["cache_hits_disk"] == 1
+
+
+def test_cache_false_always_executes(tmp_path):
+    lab = Lab(cache_dir=tmp_path, cache=False)
+    lab.run(_spec())
+    lab.run(_spec())
+    stats = lab.stats()
+    assert stats["executed"] == 2
+    assert stats["cache_hits_memory"] == 0
+    assert stats["cache_misses"] == 0     # not counting when disabled
+    assert lab.disk is None               # nothing written either
+
+
+def test_pool_matches_serial_byte_for_byte(tmp_path):
+    specs = [_spec(protocol="lh"), _spec(protocol="eu"),
+             _spec(nprocs=4)]
+    serial = Lab().run_many(specs)
+    with Lab(jobs=2, cache_dir=tmp_path) as lab:
+        pooled = lab.run_many(specs)
+        assert lab.stats()["executed"] == 3
+    assert [_dump(r) for r in pooled] == [_dump(r) for r in serial]
+    # The pool's results are cached like any other.
+    with Lab(cache_dir=tmp_path) as lab:
+        warm = lab.run_many(specs)
+        assert lab.stats()["executed"] == 0
+    assert [_dump(r) for r in warm] == [_dump(r) for r in serial]
+
+
+def test_failures_are_isolated_not_fatal():
+    # max_events=10 aborts the simulation mid-flight.
+    bad = _spec(max_events=10)
+    good = _spec()
+    lab = Lab(retries=1)
+    results = lab.run_many([bad, good], strict=False)
+    assert results[0] is None
+    assert _dump(results[1]) == _dump(Lab().run(good))
+    assert len(lab.failures) == 1
+    failure = lab.failures[0]
+    assert failure.fingerprint == bad.fingerprint()
+    assert failure.attempts == 2          # initial try + 1 retry
+    stats = lab.stats()
+    assert stats["failures"] == 1
+    assert stats["retries"] == 1
+
+
+def test_strict_batch_raises_after_settling():
+    lab = Lab(retries=0)
+    with pytest.raises(LabError) as err:
+        lab.run_many([_spec(max_events=10), _spec()])
+    assert "jacobi/lh" in str(err.value)
+    # The healthy sibling still completed (and is memoized).
+    assert lab.stats()["executed"] == 1
+
+
+def test_pool_isolates_failures(tmp_path):
+    bad = _spec(max_events=10)
+    good = _spec()
+    with Lab(jobs=2, retries=0) as lab:
+        results = lab.run_many([bad, good], strict=False)
+    assert results[0] is None
+    assert results[1] is not None
+    assert len(lab.failures) == 1
+    assert "SimulationError" in lab.failures[0].error or \
+        lab.failures[0].error
+
+
+def test_cached_payloads_memoize(tmp_path):
+    calls = []
+
+    def compute():
+        calls.append(1)
+        return {"cells": (1, 2, 3)}      # tuple -> list via json_safe
+
+    with Lab(cache_dir=tmp_path) as lab:
+        first = lab.cached("scenario", {"x": 1}, compute)
+        again = lab.cached("scenario", {"x": 1}, compute)
+    assert first == {"cells": [1, 2, 3]}
+    assert again == first
+    assert len(calls) == 1
+    with Lab(cache_dir=tmp_path) as lab:   # disk tier
+        assert lab.cached("scenario", {"x": 1}, compute) == first
+        assert lab.stats()["cache_hits_disk"] == 1
+    assert len(calls) == 1
+
+
+def test_format_stats_line():
+    lab = Lab()
+    lab.run(_spec())
+    lab.run(_spec())
+    line = lab.format_stats()
+    assert line.startswith("lab: executed 1, cache hits 1")
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        Lab(jobs=0)
+    with pytest.raises(ValueError):
+        Lab(retries=-1)

@@ -1,0 +1,99 @@
+"""RunSpec fingerprinting: the cache-key contract.
+
+The fingerprint must commit to *everything* that can change a run's
+outcome (app, params, protocol, full machine config, protocol
+options, execution knobs, code version) and to nothing else — two
+specs that describe the same run must collide.
+"""
+
+import json
+
+import pytest
+
+from repro.core.config import MachineConfig, NetworkConfig
+from repro.core.runner import run_app
+from repro.apps import create_app
+from repro.lab import RunSpec, code_version, execute_spec, \
+    payload_fingerprint
+
+SMALL = {"n": 24, "iterations": 2}
+
+
+def _spec(**overrides) -> RunSpec:
+    kwargs = dict(app="jacobi", app_params=SMALL, protocol="lh",
+                  config=MachineConfig(nprocs=2,
+                                       network=NetworkConfig.atm()))
+    kwargs.update(overrides)
+    return RunSpec(**kwargs)
+
+
+def test_fingerprint_is_stable_and_64_hex():
+    fp = _spec().fingerprint()
+    assert fp == _spec().fingerprint()
+    assert len(fp) == 64
+    int(fp, 16)  # raises if not hex
+
+
+@pytest.mark.parametrize("change", [
+    dict(app="water", app_params={"molecules": 8, "steps": 1}),
+    dict(app_params={"n": 32, "iterations": 2}),
+    dict(protocol="eu"),
+    dict(config=MachineConfig(nprocs=4, network=NetworkConfig.atm())),
+    dict(config=MachineConfig(nprocs=2,
+                              network=NetworkConfig.ethernet())),
+    dict(protocol_options={"piggyback_policy": "never"}),
+    dict(lock_broadcast=True),
+    dict(threads_per_proc=2),
+    dict(max_events=1000),
+])
+def test_fingerprint_commits_to_every_field(change):
+    assert _spec(**change).fingerprint() != _spec().fingerprint()
+
+
+def test_empty_protocol_options_normalize_to_none():
+    # None and {} describe the same run: same address.
+    assert _spec(protocol_options={}).fingerprint() == \
+        _spec(protocol_options=None).fingerprint()
+
+
+def test_fingerprint_commits_to_code_version(monkeypatch):
+    base = _spec().fingerprint()
+    assert _spec().fingerprint(version="deadbeef") != base
+    monkeypatch.setenv("REPRO_CODE_VERSION", "v-test")
+    assert _spec().fingerprint() != base
+    assert _spec().fingerprint() == _spec().fingerprint("v-test")
+
+
+def test_code_version_is_stable_hex():
+    version = code_version()
+    assert version == code_version()
+    assert len(version) == 64
+
+
+def test_roundtrip_preserves_canonical_form():
+    spec = _spec(protocol_options={"piggyback_policy": "always"},
+                 max_events=5000)
+    clone = RunSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+    assert clone.canonical() == spec.canonical()
+    assert clone.fingerprint() == spec.fingerprint()
+
+
+def test_label_names_the_run():
+    label = _spec().label()
+    assert "jacobi" in label and "lh" in label and "2p" in label
+
+
+def test_payload_fingerprint_commits_to_kind_and_params():
+    fp = payload_fingerprint("table1", {"scenario": "unlock"})
+    assert fp == payload_fingerprint("table1", {"scenario": "unlock"})
+    assert fp != payload_fingerprint("table2", {"scenario": "unlock"})
+    assert fp != payload_fingerprint("table1", {"scenario": "lock"})
+
+
+def test_execute_spec_matches_run_app():
+    spec = _spec()
+    direct = run_app(create_app("jacobi", **SMALL), spec.config,
+                     protocol="lh")
+    via_spec = execute_spec(spec)
+    assert json.dumps(via_spec.to_dict(), sort_keys=True) == \
+        json.dumps(direct.to_dict(), sort_keys=True)

@@ -177,10 +177,16 @@ def test_install_catalog_registers_every_spec_idempotently():
         assert spec.kind in (COUNTER, GAUGE, HISTOGRAM)
     install_robustness(registry)
     install_robustness(registry)  # idempotent too
-    assert set(registry.names()) == set(CATALOG_BY_NAME)
     assert len(registry.names()) == len(CATALOG) + len(
         ROBUSTNESS_CATALOG)
     for spec in ROBUSTNESS_CATALOG:
+        assert registry.get(spec.name).spec is spec
+    # The harness tier (repro.lab) completes the catalogue.
+    from repro.obs import LAB_CATALOG, install_lab
+    install_lab(registry)
+    install_lab(registry)  # idempotent too
+    assert set(registry.names()) == set(CATALOG_BY_NAME)
+    for spec in LAB_CATALOG:
         assert registry.get(spec.name).spec is spec
 
 

@@ -1,0 +1,66 @@
+"""Cross-process determinism: the contract the lab cache stands on.
+
+A fingerprint may only address a cached result if the simulator
+produces the *same* result for the same spec in any process.  This
+gate runs one spec in-process and in two fresh interpreters with
+different ``PYTHONHASHSEED`` values (so any hidden dependence on hash
+randomization — set/dict iteration order leaking into the event
+schedule — shows up as a mismatch) and requires byte-identical
+serialized results from all three.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.core.config import MachineConfig, NetworkConfig
+from repro.lab import RunSpec, execute_spec
+
+_CHILD = """
+import json, sys
+from repro.lab import RunSpec, execute_spec
+spec = RunSpec.from_dict(json.loads(sys.stdin.read()))
+print(json.dumps(execute_spec(spec).to_dict(), sort_keys=True))
+"""
+
+
+def _run_in_subprocess(spec: RunSpec, hashseed: str) -> str:
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[2] / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    env["PYTHONHASHSEED"] = hashseed
+    proc = subprocess.run(
+        [sys.executable, "-c", _CHILD],
+        input=json.dumps(spec.to_dict()),
+        capture_output=True, text=True, env=env, check=True)
+    return proc.stdout.strip()
+
+
+def test_results_are_identical_across_processes():
+    spec = RunSpec("water", {"nmols": 20, "steps": 1}, protocol="lh",
+                   config=MachineConfig(nprocs=4,
+                                        network=NetworkConfig.atm()))
+    local = json.dumps(execute_spec(spec).to_dict(), sort_keys=True)
+    assert _run_in_subprocess(spec, "0") == local
+    assert _run_in_subprocess(spec, "1") == local
+
+
+def test_fingerprints_are_identical_across_processes():
+    spec = RunSpec("jacobi", {"n": 48, "iterations": 3},
+                   config=MachineConfig(nprocs=2,
+                                        network=NetworkConfig.atm()))
+    child = ("import json, sys\n"
+             "from repro.lab import RunSpec\n"
+             "spec = RunSpec.from_dict(json.loads(sys.stdin.read()))\n"
+             "print(spec.fingerprint())\n")
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[2] / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    env["PYTHONHASHSEED"] = "23"
+    proc = subprocess.run(
+        [sys.executable, "-c", child],
+        input=json.dumps(spec.to_dict()),
+        capture_output=True, text=True, env=env, check=True)
+    assert proc.stdout.strip() == spec.fingerprint()
