@@ -1,0 +1,122 @@
+"""Core hot-path benchmark: events/second on a fixed workload.
+
+Runs the pinned BENCH_core workload — Jacobi n=96 for 120 iterations
+under the lazy-invalidate protocol on 8 processors over ATM — and
+emits ``BENCH_core.json`` with the dispatch rate, wall time, and the
+speedup against the pre-optimization baseline measured in the same
+reference container.
+
+Methodology (docs/performance.md): the timed rounds run in a *fresh
+interpreter* (the test harness's instrumentation costs a measurable
+few percent), after one warm-up run, with the collector frozen the
+way the lab tunes its pool workers; the reported rate is the best of
+``ROUNDS`` (the robust statistic on a noisy shared machine).
+
+Byte-identity is asserted in-process against the golden dump captured
+from the *pre-optimization* code (``tests/perf/golden/
+perfcore_jacobi_li_atm8_it120.json``): the fast path must be faster,
+not different.  The absolute events/second (and hence
+``speedup_vs_baseline``) varies with the host; the byte_identical
+flag and the golden-parity suite are the portable gates.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import repro
+
+from benchmarks.conftest import run_once
+from repro.core.config import MachineConfig, NetworkConfig
+from repro.lab.spec import RunSpec
+from tests.perf.parity import canonical_dump, golden_path
+
+ROUNDS = 4        # timed executions per interpreter
+INTERPRETERS = 3  # fresh interpreters; best-of-all is reported
+OUT = Path(__file__).resolve().parents[1] / "BENCH_core.json"
+
+#: Best-of-rounds dispatch rate of the pre-optimization tree on this
+#: workload, measured in the reference container with this exact
+#: harness.  Reference only — it does not transfer across hosts.
+BASELINE_EVENTS_PER_SECOND = 40_957
+
+WORKLOAD = RunSpec("jacobi", dict(n=96, iterations=120),
+                   protocol="li",
+                   config=MachineConfig(nprocs=8,
+                                        network=NetworkConfig.atm()))
+
+_MEASURE = r"""
+import gc, json, sys, time
+sys.path.insert(0, sys.argv[1])
+from repro.lab.spec import RunSpec, execute_spec
+
+spec = RunSpec.from_dict(json.loads(sys.argv[2]))
+rounds = int(sys.argv[3])
+execute_spec(spec)                       # warm imports and caches
+gc.collect()
+if hasattr(gc, "freeze"):
+    gc.freeze()
+gc.set_threshold(50_000, 25, 25)         # see repro.lab._warm_worker
+best = None
+for _ in range(rounds):
+    started = time.perf_counter()
+    result = execute_spec(spec)
+    wall = time.perf_counter() - started
+    events = int(result.registry.get(
+        "sim.events_dispatched_total").labels().value)
+    if best is None or events / wall > best[1] / best[0]:
+        best = (wall, events)
+print(json.dumps({"wall_seconds": best[0], "events": best[1]}))
+"""
+
+
+def _measure_once():
+    src = str(Path(repro.__file__).resolve().parents[1])
+    proc = subprocess.run(
+        [sys.executable, "-c", _MEASURE, src,
+         json.dumps(WORKLOAD.to_dict()), str(ROUNDS)],
+        capture_output=True, text=True)
+    assert proc.returncode == 0, proc.stderr
+    return json.loads(proc.stdout)
+
+
+def _measure():
+    # Slow epochs on a shared machine last seconds — whole
+    # interpreters, not single rounds — so the robust best-of spans
+    # several fresh interpreters.
+    samples = [_measure_once() for _ in range(INTERPRETERS)]
+    return max(samples,
+               key=lambda s: s["events"] / s["wall_seconds"])
+
+
+def test_core_events_per_second(benchmark):
+    measured = run_once(benchmark, _measure)
+    wall = measured["wall_seconds"]
+    events = measured["events"]
+    events_per_second = events / wall
+
+    golden = Path(golden_path("perfcore_jacobi_li_atm8_it120"))
+    byte_identical = (canonical_dump(WORKLOAD) + "\n"
+                      == golden.read_text())
+    assert byte_identical, (
+        "optimized core diverged from the pre-optimization golden "
+        f"dump {golden.name}")
+
+    record = {
+        "workload": WORKLOAD.to_dict(),
+        "rounds": ROUNDS,
+        "interpreters": INTERPRETERS,
+        "events": events,
+        "wall_seconds": round(wall, 3),
+        "events_per_second": round(events_per_second, 1),
+        "baseline_events_per_second": BASELINE_EVENTS_PER_SECOND,
+        "speedup_vs_baseline": round(
+            events_per_second / BASELINE_EVENTS_PER_SECOND, 3),
+        "byte_identical": byte_identical,
+    }
+    OUT.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"\nBENCH_core: {events:,} events in {wall:.2f}s "
+          f"({events_per_second:,.0f} events/s, "
+          f"{record['speedup_vs_baseline']:.2f}x vs pre-opt "
+          "reference baseline)")

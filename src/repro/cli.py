@@ -228,6 +228,19 @@ def cmd_stats(args) -> int:
     return 0
 
 
+def cmd_profile(args) -> int:
+    """Profile one run: host-time hotspots (cProfile, per subsystem
+    and top-N functions) next to the simulated-time breakdown from
+    the metrics registry (docs/performance.md)."""
+    from repro.analysis.profiling import format_profile, profile_spec
+
+    # Like a traced run, a profiled run is all about the side effect,
+    # so it always executes in-process and bypasses the lab cache.
+    report = profile_spec(_spec(args), top=args.top)
+    print(format_profile(report, top=args.top))
+    return 0
+
+
 def cmd_losssweep(args) -> int:
     """Per-protocol slowdown across message-loss rates
     (docs/robustness.md)."""
@@ -356,6 +369,13 @@ def build_parser() -> argparse.ArgumentParser:
                          help="inspect a saved RunResult (or lab "
                               "cache entry) instead of simulating")
     p_stats.set_defaults(func=cmd_stats)
+
+    p_prof = sub.add_parser("profile", help=cmd_profile.__doc__)
+    common(p_prof)
+    p_prof.add_argument("--top", type=int, default=15, metavar="N",
+                        help="rows in the hottest-functions table "
+                             "(default: 15)")
+    p_prof.set_defaults(func=cmd_profile)
 
     p_loss = sub.add_parser("losssweep", help=cmd_losssweep.__doc__)
     common(p_loss)

@@ -40,12 +40,20 @@ class DsmApi:
         """Read words [start, end) of ``segment``; returns a numpy copy.
         Faults (and pays for) any page that is not locally valid."""
         node = self._node
+        protocol = node.protocol
+        get_copy = node.pagetable.copies.get
+        # No-miss fast path: a valid local copy means ensure_valid
+        # would return without yielding (true for every protocol's
+        # read side), so skip the generator machinery entirely.
+        hit_ok = protocol.valid_copy_serves_reads
         out = np.empty(end - start, dtype=np.float64)
         cursor = 0
         for page, lo, hi in segment.page_ranges(start, end):
-            yield from node.protocol.ensure_valid(page, for_write=False)
-            values = node.pagetable.get(page).values
-            out[cursor:cursor + (hi - lo)] = values[lo:hi]
+            copy = get_copy(page)
+            if copy is None or not copy.valid or not hit_ok:
+                yield from protocol.ensure_valid(page, for_write=False)
+                copy = get_copy(page)
+            out[cursor:cursor + (hi - lo)] = copy.values[lo:hi]
             cursor += hi - lo
         return out
 
@@ -54,6 +62,9 @@ class DsmApi:
                      ) -> Generator:
         """Write ``values`` into words [start, end) of ``segment``."""
         node = self._node
+        protocol = node.protocol
+        get_copy = node.pagetable.copies.get
+        hit_ok = protocol.valid_copy_serves_writes
         if np.isscalar(values):
             values = np.full(end - start, float(values))
         else:
@@ -64,10 +75,12 @@ class DsmApi:
                     f"[{start},{end})")
         cursor = 0
         for page, lo, hi in segment.page_ranges(start, end):
-            yield from node.protocol.ensure_valid(page, for_write=True)
-            copy = node.pagetable.get(page)
+            copy = get_copy(page)
+            if copy is None or not copy.valid or not hit_ok:
+                yield from protocol.ensure_valid(page, for_write=True)
+                copy = get_copy(page)
             copy.values[lo:hi] = values[cursor:cursor + (hi - lo)]
-            node.protocol.record_write(page, lo, hi)
+            protocol.record_write(page, lo, hi)
             cursor += hi - lo
 
     def read(self, segment: Segment, index: int) -> Generator:
@@ -86,8 +99,13 @@ class DsmApi:
         """Fault pages covering [start, end) in without reading data
         (used to model read-mostly scans cheaply)."""
         node = self._node
+        protocol = node.protocol
+        get_copy = node.pagetable.copies.get
+        hit_ok = protocol.valid_copy_serves_reads
         for page, _lo, _hi in segment.page_ranges(start, end):
-            yield from node.protocol.ensure_valid(page, for_write=False)
+            copy = get_copy(page)
+            if copy is None or not copy.valid or not hit_ok:
+                yield from protocol.ensure_valid(page, for_write=False)
 
     # -- synchronization ------------------------------------------------------
 

@@ -87,6 +87,7 @@ class Machine:
 
         self._finished: List[Optional[float]] = [None] * config.nprocs
         self._app_results: List[object] = [None] * config.nprocs
+        self._unfinished = config.nprocs
 
     # -- address space ------------------------------------------------------
 
@@ -206,6 +207,7 @@ class Machine:
         nworkers = self.config.nprocs * threads_per_proc
         self._finished = [None] * nworkers
         self._app_results = [None] * nworkers
+        self._unfinished = nworkers
         if threads_per_proc > 1:
             for node in self.nodes:
                 node.enable_multithreading()
@@ -252,11 +254,14 @@ class Machine:
     def _wrap_worker(self, proc: int,
                      worker: Generator) -> Generator:
         result = yield from worker
+        if self._finished[proc] is None:
+            self._unfinished -= 1
         self._finished[proc] = self.sim.now
         self._app_results[proc] = result
 
     def _all_finished(self) -> bool:
-        return all(t is not None for t in self._finished)
+        # O(1): run_all's stop callback runs once per dispatched event.
+        return self._unfinished == 0
 
     # -- debugging helpers ---------------------------------------------------------
 

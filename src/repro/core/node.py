@@ -121,7 +121,9 @@ class Node:
             yield self.cpu_resource.request()
         try:
             stolen_before = self._interrupt_cycles
-            yield self.sim.timeout(cycles)
+            # Bare-number yields take the engine's allocation-free
+            # delay fast path (same dispatch sequence as a Timeout).
+            yield cycles
             paid = 0.0
             while True:
                 stolen = self._interrupt_cycles - stolen_before
@@ -129,7 +131,7 @@ class Node:
                     break
                 extra = stolen - paid
                 paid = stolen
-                yield self.sim.timeout(extra)
+                yield extra
         finally:
             if self.multithreaded:
                 self.cpu_resource.release()
@@ -140,7 +142,7 @@ class Node:
         if cycles > 0:
             self.metrics.overhead_cycles += cycles
             self.ins.overhead_cycles.inc(cycles)
-            yield self.sim.timeout(cycles)
+            yield cycles
 
     def handler_charge(self, cycles: float) -> float:
         """Occupy the handler (interrupt) context for ``cycles``;

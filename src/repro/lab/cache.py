@@ -95,12 +95,17 @@ class ResultCache:
             return None
 
     def put(self, fingerprint: str, result: RunResult,
-            spec: Optional[RunSpec] = None) -> None:
+            spec: Optional[RunSpec] = None,
+            result_dict: Optional[dict] = None) -> None:
+        """Store one run.  ``result_dict`` lets callers that already
+        hold the serialized form (pool workers ship results as dicts)
+        skip a second ``to_dict`` pass."""
         self._write(fingerprint, {
             "fingerprint": fingerprint,
             "kind": "run",
             "spec": spec.to_dict() if spec is not None else None,
-            "result": result.to_dict(),
+            "result": (result_dict if result_dict is not None
+                       else result.to_dict()),
         })
 
     # -- arbitrary JSON payloads (Lab.cached) --------------------------

@@ -19,6 +19,8 @@ utilization) — the warm-cache CI gate and ``BENCH_lab.json`` read it.
 
 from __future__ import annotations
 
+import gc
+import os
 import sys
 import time
 import traceback
@@ -29,7 +31,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core.metrics import RunResult, json_safe
 from repro.lab.cache import ResultCache
-from repro.lab.spec import (RunSpec, execute_spec,
+from repro.lab.spec import (RunSpec, code_version, execute_spec,
                             payload_fingerprint)
 from repro.obs import MetricsRegistry, install_lab
 
@@ -61,6 +63,32 @@ class LabFailure:
     attempts: int
 
 
+def _warm_worker(version: str) -> None:
+    """Process-pool initializer: runs once per worker, at fork time.
+
+    Seeds the code-version memo (so no worker re-hashes the source
+    tree), pays the heavy imports up front instead of inside the first
+    real run, and tunes the collector for simulation throughput: the
+    startup heap is frozen out of every pass, and the gen-0 threshold
+    is raised — the simulator allocates heavily but builds few
+    long-lived cycles, so prompt collection only costs time in a
+    short-lived worker (simulation results are GC-independent)."""
+    from repro.lab import spec as spec_module
+    spec_module._code_version_cache = version
+    import repro.apps  # noqa: F401  - import cost paid at startup
+    import repro.core.runner  # noqa: F401
+    gc.collect()
+    if hasattr(gc, "freeze"):
+        gc.freeze()
+    gc.set_threshold(50_000, 25, 25)
+
+
+def _noop(_: int) -> None:
+    """Warm-up ping: forces worker spawn so startup cost is measured
+    (and paid) before the first real batch."""
+    return None
+
+
 def _execute_payload(payload: dict) -> dict:
     """Process-pool worker: runs one serialized spec and ships the
     serialized result back.  Must stay a module-level function so the
@@ -78,6 +106,21 @@ def _execute_payload(payload: dict) -> dict:
                 "error": f"{type(exc).__name__}: {exc}",
                 "traceback": traceback.format_exc(),
                 "seconds": time.perf_counter() - started}
+
+
+def _execute_payload_batch(payloads: Sequence[dict]) -> List[dict]:
+    """Run a chunk of specs in one worker task: small runs are chunked
+    so per-future pickling and IPC overhead amortizes (a per-spec
+    future made the pool slower than serial at bench scale).  Each
+    spec's outcome is still isolated — one failure never poisons its
+    chunk-mates."""
+    outcomes = [_execute_payload(payload) for payload in payloads]
+    # With the raised thresholds from _warm_worker, dead machine
+    # graphs (which are cyclic) pile up across runs and progressively
+    # slow the worker; one full collection per chunk caps the heap at
+    # negligible amortized cost.
+    gc.collect()
+    return outcomes
 
 
 class Lab:
@@ -110,6 +153,13 @@ class Lab:
         self._memo: Dict[str, RunResult] = {}
         self._payload_memo: Dict[str, object] = {}
         self._pool: Optional[ProcessPoolExecutor] = None
+        # Source-tree hash, computed at most once per Lab (it was a
+        # per-spec rglob+sha256 of every repro source file before) and
+        # shipped to pool workers so they never recompute it either.
+        self._code_version: Optional[str] = None
+        #: One-time pool spin-up cost (fork + imports + warm pings);
+        #: 0.0 until the first parallel batch.  BENCH_lab records it.
+        self.executor_startup_seconds = 0.0
 
         self.registry = registry or MetricsRegistry(
             const_labels={"subsystem": "lab"})
@@ -126,6 +176,7 @@ class Lab:
         self._m_wall = reg.get("lab.wall_seconds_total")
         self._m_run_seconds = reg.get("lab.run_seconds")
         self._m_utilization = reg.get("lab.worker_utilization")
+        self._m_startup = reg.get("lab.executor_startup_seconds")
 
     # -- lifecycle -----------------------------------------------------
 
@@ -140,9 +191,43 @@ class Lab:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
+    @property
+    def effective_jobs(self) -> int:
+        """Worker count actually used: the requested ``jobs`` clamped
+        to the machine's CPU count.  Oversubscribing a small container
+        is how the pool ended up *slower* than serial."""
+        if self.jobs is None:
+            return 1
+        return max(1, min(self.jobs, os.cpu_count() or 1))
+
+    def _version(self) -> str:
+        if self._code_version is None:
+            self._code_version = code_version()
+        return self._code_version
+
+    def warm(self) -> float:
+        """Spin up and warm the process pool now, instead of inside
+        the first parallel batch (no-op for serial labs).  Returns the
+        measured startup seconds — BENCH_lab records this separately
+        from batch wall time."""
+        if self.jobs is not None:
+            self._executor()
+        return self.executor_startup_seconds
+
     def _executor(self) -> ProcessPoolExecutor:
         if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+            started = time.perf_counter()
+            workers = self.effective_jobs
+            self._pool = ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_warm_worker,
+                initargs=(self._version(),))
+            # Force every worker to fork and warm up now, so startup
+            # is measured (and paid) outside the first real batch.
+            list(self._pool.map(_noop, range(workers)))
+            self.executor_startup_seconds += (time.perf_counter()
+                                              - started)
+            self._m_startup.set(self.executor_startup_seconds)
         return self._pool
 
     # -- running specs -------------------------------------------------
@@ -164,7 +249,8 @@ class Lab:
         the returned list carries ``None`` there."""
         started = time.perf_counter()
         specs = list(specs)
-        fingerprints = [spec.fingerprint() for spec in specs]
+        version = self._version()
+        fingerprints = [spec.fingerprint(version) for spec in specs]
         self.failures: List[LabFailure] = []
 
         resolved: Dict[str, RunResult] = {}
@@ -194,7 +280,7 @@ class Lab:
 
         wall = time.perf_counter() - started
         self._m_wall.inc(wall)
-        pool_size = 1 if self.jobs is None else self.jobs
+        pool_size = self.effective_jobs
         if to_run and wall > 0:
             self._m_utilization.set(
                 min(1.0, busy_seconds / (wall * pool_size)))
@@ -239,56 +325,73 @@ class Lab:
                   total: int) -> float:
         busy = 0.0
         attempts = {fp: 1 for fp in to_run}
-        pending = {}
-        for fingerprint, spec in to_run.items():
-            future = self._executor().submit(
-                _execute_payload, {"fingerprint": fingerprint,
-                                   "spec": spec.to_dict()})
-            pending[future] = fingerprint
+        executor = self._executor()
+        workers = self.effective_jobs
+        items = [{"fingerprint": fingerprint, "spec": spec.to_dict()}
+                 for fingerprint, spec in to_run.items()]
+        # Chunk small runs: ~4 chunks per worker amortizes pickling
+        # and future overhead while keeping the tail balanced.  A
+        # lone worker has no tail to balance, so it gets one chunk
+        # (fewer IPC round-trips and per-chunk collections).
+        chunks_per_worker = 4 if workers > 1 else 1
+        chunk_size = max(1, -(-len(items)
+                              // (workers * chunks_per_worker)))
+        pending: Dict[object, List[str]] = {}
+        for offset in range(0, len(items), chunk_size):
+            chunk = items[offset:offset + chunk_size]
+            future = executor.submit(_execute_payload_batch, chunk)
+            pending[future] = [c["fingerprint"] for c in chunk]
         done_count = 0
         while pending:
             done, _ = wait(list(pending),
                            return_when=FIRST_COMPLETED)
             for future in done:
-                fingerprint = pending.pop(future)
-                spec = to_run[fingerprint]
+                chunk_fps = pending.pop(future)
                 try:
-                    outcome = future.result()
+                    outcomes = future.result()
                 except BaseException as exc:  # noqa: BLE001
                     # The pool itself broke (worker killed, pickling
                     # error, ...): rebuild it before any retry.
-                    outcome = {"ok": False,
-                               "error": f"{type(exc).__name__}: {exc}",
-                               "traceback": traceback.format_exc(),
-                               "seconds": 0.0}
+                    outcomes = [
+                        {"fingerprint": fp, "ok": False,
+                         "error": f"{type(exc).__name__}: {exc}",
+                         "traceback": traceback.format_exc(),
+                         "seconds": 0.0}
+                        for fp in chunk_fps]
                     self.close()
-                busy += outcome.get("seconds", 0.0)
-                if outcome["ok"]:
-                    result = RunResult.from_dict(outcome["result"])
-                    self._record_success(fingerprint, spec, result,
-                                         outcome["seconds"], resolved)
-                    failed.pop(fingerprint, None)
-                    done_count += 1
-                    self._progress_line(done_count, total, hits,
-                                        len(failed))
-                elif attempts[fingerprint] <= self.retries:
-                    attempts[fingerprint] += 1
-                    self._m_retries.inc()
-                    retry = self._executor().submit(
-                        _execute_payload,
-                        {"fingerprint": fingerprint,
-                         "spec": spec.to_dict()})
-                    pending[retry] = fingerprint
-                else:
-                    failed[fingerprint] = LabFailure(
-                        spec=spec, fingerprint=fingerprint,
-                        error=outcome["error"],
-                        traceback=outcome.get("traceback", ""),
-                        attempts=attempts[fingerprint])
-                    self._m_failures.inc()
-                    done_count += 1
-                    self._progress_line(done_count, total, hits,
-                                        len(failed))
+                for outcome in outcomes:
+                    fingerprint = outcome["fingerprint"]
+                    spec = to_run[fingerprint]
+                    busy += outcome.get("seconds", 0.0)
+                    if outcome["ok"]:
+                        result = RunResult.from_dict(outcome["result"])
+                        self._record_success(fingerprint, spec, result,
+                                             outcome["seconds"],
+                                             resolved,
+                                             result_dict=outcome[
+                                                 "result"])
+                        failed.pop(fingerprint, None)
+                        done_count += 1
+                        self._progress_line(done_count, total, hits,
+                                            len(failed))
+                    elif attempts[fingerprint] <= self.retries:
+                        attempts[fingerprint] += 1
+                        self._m_retries.inc()
+                        retry = self._executor().submit(
+                            _execute_payload_batch,
+                            [{"fingerprint": fingerprint,
+                              "spec": spec.to_dict()}])
+                        pending[retry] = [fingerprint]
+                    else:
+                        failed[fingerprint] = LabFailure(
+                            spec=spec, fingerprint=fingerprint,
+                            error=outcome["error"],
+                            traceback=outcome.get("traceback", ""),
+                            attempts=attempts[fingerprint])
+                        self._m_failures.inc()
+                        done_count += 1
+                        self._progress_line(done_count, total, hits,
+                                            len(failed))
         return busy
 
     # -- bookkeeping ---------------------------------------------------
@@ -310,14 +413,16 @@ class Lab:
 
     def _record_success(self, fingerprint: str, spec: RunSpec,
                         result: RunResult, seconds: float,
-                        resolved: Dict[str, RunResult]) -> None:
+                        resolved: Dict[str, RunResult],
+                        result_dict: Optional[dict] = None) -> None:
         self._m_executed.inc()
         self._m_run_seconds.observe(seconds)
         resolved[fingerprint] = result
         if self.use_cache:
             self._memo[fingerprint] = result
             if self.disk is not None:
-                self.disk.put(fingerprint, result, spec=spec)
+                self.disk.put(fingerprint, result, spec=spec,
+                              result_dict=result_dict)
 
     def _progress_line(self, done: int, total: int, hits: int,
                        failures: int) -> None:
@@ -376,6 +481,8 @@ class Lab:
             "wall_seconds": reg.total("lab.wall_seconds_total"),
             "worker_utilization":
                 reg.total("lab.worker_utilization"),
+            "executor_startup_seconds":
+                reg.total("lab.executor_startup_seconds"),
         }
 
     def format_stats(self) -> str:

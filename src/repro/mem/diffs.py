@@ -33,9 +33,15 @@ def ranges_word_count(ranges: Sequence[Tuple[int, int]]) -> int:
 
 
 class Diff:
-    """Modified words of a single page, as run-length runs."""
+    """Modified words of a single page, as run-length runs.
 
-    __slots__ = ("page", "runs", "word_size")
+    Runs are immutable once constructed, so the derived sizes
+    (``word_count``, ``size_bytes`` — consulted per message on the
+    protocol critical path) are computed lazily once and cached.
+    """
+
+    __slots__ = ("page", "runs", "word_size", "_word_count",
+                 "_size_bytes")
 
     def __init__(self, page: int,
                  runs: Sequence[Tuple[int, np.ndarray]],
@@ -45,25 +51,42 @@ class Diff:
             (int(start), np.asarray(values, dtype=np.float64))
             for start, values in runs]
         self.word_size = word_size
+        self._word_count: int = -1
+        self._size_bytes: int = -1
 
     @staticmethod
     def from_ranges(page: int, values: np.ndarray,
                     ranges: Iterable[Tuple[int, int]],
-                    word_size: int = 4) -> "Diff":
-        """Snapshot ``values`` over the given word ranges."""
+                    word_size: int = 4,
+                    assume_normalized: bool = False) -> "Diff":
+        """Snapshot ``values`` over the given word ranges.
+
+        With ``assume_normalized`` the caller promises ``ranges`` is
+        already sorted and disjoint (e.g. straight out of
+        :meth:`repro.mem.pages.PageCopy.take_written_ranges`), skipping
+        a redundant :func:`normalize_ranges` pass.
+        """
+        if not assume_normalized:
+            ranges = normalize_ranges(ranges)
         runs = [(start, values[start:end].copy())
-                for start, end in normalize_ranges(ranges)]
+                for start, end in ranges]
         return Diff(page, runs, word_size=word_size)
 
     @property
     def word_count(self) -> int:
-        return sum(len(values) for _start, values in self.runs)
+        if self._word_count < 0:
+            self._word_count = sum(len(values)
+                                   for _start, values in self.runs)
+        return self._word_count
 
     @property
     def size_bytes(self) -> int:
         """Encoded size: per-run header plus the run payloads."""
-        return sum(RUN_HEADER_BYTES + len(values) * self.word_size
-                   for _start, values in self.runs)
+        if self._size_bytes < 0:
+            self._size_bytes = (
+                RUN_HEADER_BYTES * len(self.runs)
+                + self.word_count * self.word_size)
+        return self._size_bytes
 
     def ranges(self) -> List[Tuple[int, int]]:
         return [(start, start + len(values))
@@ -71,12 +94,26 @@ class Diff:
 
     def apply(self, target: np.ndarray) -> None:
         """Write the diff's words into ``target`` in place."""
-        for start, values in self.runs:
-            if start + len(values) > len(target):
+        runs = self.runs
+        if len(runs) == 1:
+            # Single-run diffs dominate (regular apps write whole
+            # rows/pages): one slice assignment, no loop.
+            start, values = runs[0]
+            end = start + len(values)
+            if end > len(target):
                 raise ValueError(
-                    f"diff run [{start},{start + len(values)}) exceeds "
+                    f"diff run [{start},{end}) exceeds "
                     f"page of {len(target)} words")
-            target[start:start + len(values)] = values
+            target[start:end] = values
+            return
+        size = len(target)
+        for start, values in runs:
+            end = start + len(values)
+            if end > size:
+                raise ValueError(
+                    f"diff run [{start},{end}) exceeds "
+                    f"page of {size} words")
+            target[start:end] = values
 
     def overlaps(self, other: "Diff") -> bool:
         mine = normalize_ranges(self.ranges())

@@ -8,6 +8,7 @@ vector time so receivers can order it under happened-before-1.
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
@@ -26,9 +27,12 @@ class WriteNotice:
     index: int
     vc: VectorClock
 
-    @property
-    def interval_id(self) -> IntervalId:
-        return (self.proc, self.index)
+    def __post_init__(self) -> None:
+        # Materialized once: interval_id is read many times per notice
+        # on the dedup/apply paths (a property would rebuild the tuple
+        # each time).  Not a field, so __eq__/__hash__ are unchanged.
+        object.__setattr__(self, "interval_id",
+                           (self.proc, self.index))
 
 
 @dataclass
@@ -46,24 +50,55 @@ class IntervalRecord:
     pending_ranges: Dict[int, List[Tuple[int, int]]] = field(
         default_factory=dict)
 
-    @property
-    def interval_id(self) -> IntervalId:
-        return (self.proc, self.index)
+    def __post_init__(self) -> None:
+        self.interval_id: IntervalId = (self.proc, self.index)
+        self._notices: Optional[List[WriteNotice]] = None
 
     def notices(self) -> List[WriteNotice]:
-        return [WriteNotice(page=page, proc=self.proc, index=self.index,
-                            vc=self.vc)
-                for page in sorted(self.pages)]
+        """The record's write notices (page-ascending).  Cached: a
+        record object is shared by every node that receives it, and
+        notices are immutable — building them once per record (instead
+        of once per receiving node) takes dataclass construction off
+        the incorporate hot path.  Callers must not mutate the list."""
+        built = self._notices
+        if built is None:
+            built = [WriteNotice(page=page, proc=self.proc,
+                                 index=self.index, vc=self.vc)
+                     for page in sorted(self.pages)]
+            self._notices = built
+        return built
 
 
 class IntervalLog:
-    """A node's knowledge of intervals (its own and received ones)."""
+    """A node's knowledge of intervals (its own and received ones).
+
+    Alongside the flat id->record map, records are indexed per
+    processor in ascending interval order, so :meth:`records_after` —
+    called on every lock grant and barrier arrival — is a bisect per
+    processor instead of a scan of the whole log (which made barrier
+    cost grow with run length before GC could prune).
+    """
 
     def __init__(self) -> None:
         self._records: Dict[IntervalId, IntervalRecord] = {}
+        # proc -> (ascending interval indices, records in that order).
+        self._by_proc: Dict[int, Tuple[List[int],
+                                       List[IntervalRecord]]] = {}
 
     def add(self, record: IntervalRecord) -> None:
-        self._records.setdefault(record.interval_id, record)
+        interval_id = record.interval_id
+        if interval_id in self._records:
+            return
+        self._records[interval_id] = record
+        indices, records = self._by_proc.setdefault(record.proc,
+                                                    ([], []))
+        if not indices or record.index > indices[-1]:
+            indices.append(record.index)
+            records.append(record)
+        else:
+            position = bisect_left(indices, record.index)
+            indices.insert(position, record.index)
+            records.insert(position, record)
 
     def get(self, interval_id: IntervalId) -> Optional[IntervalRecord]:
         return self._records.get(interval_id)
@@ -78,8 +113,12 @@ class IntervalLog:
         """Intervals (q, i) known here with i > vc[q]: exactly the write
         notices a releaser must ship to an acquirer whose clock is
         ``vc``."""
-        found = [record for record in self._records.values()
-                 if record.index > vc[record.proc]]
+        components = vc.components
+        found: List[IntervalRecord] = []
+        for proc, (indices, records) in self._by_proc.items():
+            cut = bisect_right(indices, components[proc])
+            if cut < len(records):
+                found.extend(records[cut:])
         found.sort(key=lambda r: (r.vc.total(), r.proc, r.index))
         return found
 
@@ -94,6 +133,20 @@ class IntervalLog:
                    if vc.dominates(record.vc)]
         for iid in dropped:
             del self._records[iid]
+        if dropped:
+            self._by_proc = {}
+            for record in self._records.values():
+                indices, records = self._by_proc.setdefault(
+                    record.proc, ([], []))
+                # _records preserves insertion order, but per-proc
+                # index order must be rebuilt defensively.
+                if indices and record.index <= indices[-1]:
+                    position = bisect_left(indices, record.index)
+                    indices.insert(position, record.index)
+                    records.insert(position, record)
+                else:
+                    indices.append(record.index)
+                    records.append(record)
         return dropped
 
 

@@ -8,20 +8,28 @@ of write notices received but not yet reflected in the copy.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.mem.diffs import normalize_ranges
 from repro.mem.intervals import WriteNotice
 from repro.mem.timestamps import VectorClock
 
 
 class PageCopy:
-    """One node's copy of one shared page."""
+    """One node's copy of one shared page.
+
+    Two protocol-critical-path invariants (docs/performance.md):
+    ``written`` is kept sorted and disjoint *incrementally* by
+    :meth:`record_write` (so sealing an interval never re-normalizes),
+    and pending write notices carry a parallel id set so
+    :meth:`add_notice` deduplicates in O(1) instead of scanning.
+    """
 
     __slots__ = ("page", "words", "values", "valid", "written",
-                 "pending_notices", "vc", "applied")
+                 "_pending_notices", "_pending_ids", "vc", "applied",
+                 "due_cache")
 
     def __init__(self, page: int, words: int,
                  values: Optional[np.ndarray] = None,
@@ -36,30 +44,79 @@ class PageCopy:
                 raise ValueError("page value size mismatch")
             self.values = np.array(values, dtype=np.float64)
         self.valid = valid
-        # Word ranges written during the current (unsealed) interval.
+        # Word ranges written during the current (unsealed) interval;
+        # always sorted and pairwise disjoint (record_write merges).
         self.written: List[Tuple[int, int]] = []
         # Write notices received whose modifications are not yet applied.
-        self.pending_notices: List[WriteNotice] = []
+        self._pending_notices: List[WriteNotice] = []
+        self._pending_ids: set = set()
+        # Memo for BaseProtocol.due_notices: (node vc, pending list,
+        # pending length, result).  Valid while the clock object and
+        # the list (object and length) are unchanged — every mutation
+        # path either swaps the list object or appends to it.
+        self.due_cache: Optional[tuple] = None
         self.vc = vc
         # Highest interval index per processor whose modification of this
         # page is reflected in ``values`` (coverage map).
         self.applied: Dict[int, int] = {}
 
     @property
+    def pending_notices(self) -> List[WriteNotice]:
+        return self._pending_notices
+
+    @pending_notices.setter
+    def pending_notices(self, notices: List[WriteNotice]) -> None:
+        # Protocols occasionally rebuild the list wholesale (GC prune,
+        # refetch); keep the dedup id set in lockstep.
+        self._pending_notices = notices
+        self._pending_ids = {(n.proc, n.index) for n in notices}
+
+    @property
     def dirty(self) -> bool:
         return bool(self.written)
 
     def record_write(self, start: int, end: int) -> None:
+        """Merge ``[start, end)`` into the sorted, disjoint run list.
+
+        Equivalent to append-then-:func:`normalize_ranges` (the
+        property test in tests/perf checks this against that oracle),
+        but incremental: the common cases — first write, append past
+        the last run, extend/re-hit the last run — are O(1), and the
+        rare out-of-order write is a bisect plus one slice splice.
+        """
         if start < 0 or end > self.words or start >= end:
             raise ValueError(f"bad write range [{start},{end}) on page "
                              f"of {self.words} words")
-        self.written.append((start, end))
-        if len(self.written) > 64:
-            self.written = normalize_ranges(self.written)
+        w = self.written
+        if not w:
+            w.append((start, end))
+            return
+        last_start, last_end = w[-1]
+        if start > last_end:
+            w.append((start, end))
+            return
+        if start >= last_start:
+            if end > last_end:
+                w[-1] = (last_start, end)
+            return
+        # Out-of-order write: splice into place, merging any runs the
+        # (possibly extended) range now touches.
+        lo = bisect_left(w, (start, -1))
+        if lo > 0 and w[lo - 1][1] >= start:
+            lo -= 1
+            start = w[lo][0]
+        hi = lo
+        n = len(w)
+        while hi < n and w[hi][0] <= end:
+            if w[hi][1] > end:
+                end = w[hi][1]
+            hi += 1
+        w[lo:hi] = [(start, end)]
 
     def take_written_ranges(self) -> List[Tuple[int, int]]:
-        """Return and clear the current interval's written ranges."""
-        ranges = normalize_ranges(self.written)
+        """Return and clear the current interval's written ranges
+        (already normalized — see :meth:`record_write`)."""
+        ranges = self.written
         self.written = []
         return ranges
 
@@ -80,14 +137,17 @@ class PageCopy:
             raise ValueError("invalid notice")
         if self.is_applied(notice.proc, notice.index):
             return False
-        for existing in self.pending_notices:
-            if existing.interval_id == notice.interval_id:
-                return False
-        self.pending_notices.append(notice)
+        interval_id = (notice.proc, notice.index)
+        if interval_id in self._pending_ids:
+            return False
+        self._pending_ids.add(interval_id)
+        self._pending_notices.append(notice)
         return True
 
     def clear_notices(self) -> List[WriteNotice]:
-        notices, self.pending_notices = self.pending_notices, []
+        notices = self._pending_notices
+        self._pending_notices = []
+        self._pending_ids = set()
         return notices
 
     def __repr__(self) -> str:
@@ -102,25 +162,27 @@ class PageTable:
 
     def __init__(self, words_per_page: int) -> None:
         self.words_per_page = words_per_page
-        self._copies: Dict[int, PageCopy] = {}
+        # Exposed: hot loops (API region ops, notice incorporation)
+        # hoist ``pagetable.copies.get`` to skip the method wrapper.
+        self.copies: Dict[int, PageCopy] = {}
 
     def get(self, page: int) -> Optional[PageCopy]:
-        return self._copies.get(page)
+        return self.copies.get(page)
 
     def has_copy(self, page: int) -> bool:
-        return page in self._copies
+        return page in self.copies
 
     def is_valid(self, page: int) -> bool:
-        copy = self._copies.get(page)
+        copy = self.copies.get(page)
         return copy is not None and copy.valid
 
     def install(self, page: int, values: Optional[np.ndarray] = None,
                 valid: bool = True) -> PageCopy:
-        copy = self._copies.get(page)
+        copy = self.copies.get(page)
         if copy is None:
             copy = PageCopy(page, self.words_per_page, values=values,
                             valid=valid)
-            self._copies[page] = copy
+            self.copies[page] = copy
         else:
             if values is not None:
                 copy.values[:] = values
@@ -128,19 +190,19 @@ class PageTable:
         return copy
 
     def invalidate(self, page: int) -> None:
-        copy = self._copies.get(page)
+        copy = self.copies.get(page)
         if copy is not None:
             copy.valid = False
 
     def drop(self, page: int) -> None:
-        self._copies.pop(page, None)
+        self.copies.pop(page, None)
 
     def pages(self) -> List[int]:
-        return sorted(self._copies)
+        return sorted(self.copies)
 
     def valid_pages(self) -> List[int]:
-        return sorted(page for page, copy in self._copies.items()
+        return sorted(page for page, copy in self.copies.items()
                       if copy.valid)
 
     def __len__(self) -> int:
-        return len(self._copies)
+        return len(self.copies)

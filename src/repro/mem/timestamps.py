@@ -13,15 +13,26 @@ from typing import Iterable, Tuple
 class VectorClock:
     """Immutable vector of per-processor interval indices."""
 
-    __slots__ = ("components",)
+    __slots__ = ("components", "_total")
 
     def __init__(self, components: Iterable[int]) -> None:
         object.__setattr__(self, "components", tuple(int(c)
                                                      for c in components))
+        object.__setattr__(self, "_total", -1)
+
+    @classmethod
+    def _of(cls, components: Tuple[int, ...]) -> "VectorClock":
+        """Internal fast constructor: ``components`` must already be a
+        tuple of ints.  Skips __init__'s coercion pass — clocks are
+        allocated on every interval seal and clock merge."""
+        clock = object.__new__(cls)
+        object.__setattr__(clock, "components", components)
+        object.__setattr__(clock, "_total", -1)
+        return clock
 
     @staticmethod
     def zero(nprocs: int) -> "VectorClock":
-        return VectorClock((0,) * nprocs)
+        return VectorClock._of((0,) * nprocs)
 
     def __len__(self) -> int:
         return len(self.components)
@@ -33,20 +44,29 @@ class VectorClock:
         raise AttributeError("VectorClock is immutable")
 
     def incremented(self, proc: int) -> "VectorClock":
-        parts = list(self.components)
-        parts[proc] += 1
-        return VectorClock(parts)
+        parts = self.components
+        return VectorClock._of(parts[:proc] + (parts[proc] + 1,)
+                               + parts[proc + 1:])
 
     def merged(self, other: "VectorClock") -> "VectorClock":
-        self._check(other)
-        return VectorClock(max(a, b) for a, b in
-                           zip(self.components, other.components))
+        mine = self.components
+        theirs = other.components
+        if len(mine) != len(theirs):
+            self._check(other)
+        if mine == theirs:
+            return self
+        return VectorClock._of(tuple(map(max, mine, theirs)))
 
     def dominates(self, other: "VectorClock") -> bool:
         """True iff self >= other componentwise."""
-        self._check(other)
-        return all(a >= b for a, b in zip(self.components,
-                                          other.components))
+        mine = self.components
+        theirs = other.components
+        if len(mine) != len(theirs):
+            self._check(other)
+        for a, b in zip(mine, theirs):
+            if a < b:
+                return False
+        return True
 
     def strictly_dominates(self, other: "VectorClock") -> bool:
         """True iff self >= other and self != other (other -> self)."""
@@ -57,8 +77,13 @@ class VectorClock:
 
     def total(self) -> int:
         """Sum of components: any linear extension key of hb1 (if
-        a strictly-dominates b then a.total() > b.total())."""
-        return sum(self.components)
+        a strictly-dominates b then a.total() > b.total()).  Cached —
+        it is the sort key for every record ordering."""
+        total = self._total
+        if total < 0:
+            total = sum(self.components)
+            object.__setattr__(self, "_total", total)
+        return total
 
     def _check(self, other: "VectorClock") -> None:
         if len(self.components) != len(other.components):

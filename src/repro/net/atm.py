@@ -34,7 +34,7 @@ class AtmNetwork(Network):
     def attach_obs(self, obs) -> None:
         super().attach_obs(obs)
         self._obs_port_contention = obs.registry.get(
-            "net.port_contention_total")
+            "net.port_contention_total").labels()
 
     def _schedule(self, message: Message) -> float:
         now = self.sim.now

@@ -35,14 +35,18 @@ class NetworkStats:
                                  compare=False)
 
     def attach_obs(self, obs) -> None:
+        # Bound children, not Metric objects: record() runs once per
+        # message, so emission must be child.inc(), not a dict lookup
+        # plus Metric._sole() indirection per field.
         registry = obs.registry
         self._obs = {
-            "messages": registry.get("net.messages_total"),
-            "wire_bytes": registry.get("net.wire_bytes_total"),
-            "data_bytes": registry.get("net.data_bytes_total"),
-            "wire_cycles": registry.get("net.wire_cycles_total"),
-            "contention": registry.get("net.contention_cycles_total"),
-            "wire_hist": registry.get("net.wire_cycles"),
+            "messages": registry.get("net.messages_total").labels(),
+            "wire_bytes": registry.get("net.wire_bytes_total").labels(),
+            "data_bytes": registry.get("net.data_bytes_total").labels(),
+            "wire_cycles": registry.get("net.wire_cycles_total").labels(),
+            "contention": registry.get(
+                "net.contention_cycles_total").labels(),
+            "wire_hist": registry.get("net.wire_cycles").labels(),
         }
 
     def record(self, message: Message, wire: float, waited: float) -> None:

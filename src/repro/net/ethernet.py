@@ -40,8 +40,10 @@ class EthernetNetwork(Network):
 
     def attach_obs(self, obs) -> None:
         super().attach_obs(obs)
-        self._obs_collisions = obs.registry.get("net.collisions_total")
-        self._obs_backoff = obs.registry.get("net.backoff_cycles_total")
+        self._obs_collisions = obs.registry.get(
+            "net.collisions_total").labels()
+        self._obs_backoff = obs.registry.get(
+            "net.backoff_cycles_total").labels()
 
     def _schedule(self, message: Message) -> float:
         now = self.sim.now

@@ -141,19 +141,26 @@ class ReliableTransport:
         from repro.obs import install_robustness
         registry = obs.registry
         install_robustness(registry)
+        # Bound children (all transport.* metrics are label-free):
+        # _inc() runs per packet, so skip Metric._sole() per call.
         self._obs = {
-            "sent": registry.get("transport.packets_sent_total"),
-            "received": registry.get("transport.packets_received_total"),
-            "data": registry.get("transport.data_packets_total"),
-            "retx": registry.get("transport.retransmits_total"),
-            "timeouts": registry.get("transport.timeout_fires_total"),
-            "acks": registry.get("transport.acks_sent_total"),
-            "piggyback": registry.get("transport.acks_piggybacked_total"),
+            "sent": registry.get("transport.packets_sent_total").labels(),
+            "received": registry.get(
+                "transport.packets_received_total").labels(),
+            "data": registry.get("transport.data_packets_total").labels(),
+            "retx": registry.get("transport.retransmits_total").labels(),
+            "timeouts": registry.get(
+                "transport.timeout_fires_total").labels(),
+            "acks": registry.get("transport.acks_sent_total").labels(),
+            "piggyback": registry.get(
+                "transport.acks_piggybacked_total").labels(),
             "dups": registry.get(
-                "transport.duplicates_suppressed_total"),
-            "ooo": registry.get("transport.out_of_order_total"),
-            "delivered": registry.get("transport.delivered_total"),
-            "recovery": registry.get("transport.recovery_cycles"),
+                "transport.duplicates_suppressed_total").labels(),
+            "ooo": registry.get("transport.out_of_order_total").labels(),
+            "delivered": registry.get(
+                "transport.delivered_total").labels(),
+            "recovery": registry.get(
+                "transport.recovery_cycles").labels(),
         }
 
     def _inc(self, name: str, amount=1) -> None:

@@ -41,7 +41,8 @@ class NodeInstruments:
     emission down to an attribute access plus an addition.
     """
 
-    __slots__ = ("node_label", "messages", "data_bytes", "wire_bytes",
+    __slots__ = ("node_label", "messages", "_msg_children",
+                 "data_bytes", "wire_bytes",
                  "read_misses", "write_misses", "cold_misses",
                  "page_transfers", "diffs_created", "diff_words",
                  "diffs_applied", "invalidations", "notices_created",
@@ -57,6 +58,9 @@ class NodeInstruments:
             return registry.get(name).labels(node=node)
 
         self.messages = registry.get("dsm.messages_total")
+        # Per-message-kind children resolved once on first use (the
+        # (node, msg_type) label pair is fixed per kind for this node).
+        self._msg_children = {}
         self.data_bytes = bound("dsm.data_bytes_total")
         self.wire_bytes = bound("dsm.wire_bytes_total")
         self.read_misses = bound("dsm.read_misses_total")
@@ -80,8 +84,13 @@ class NodeInstruments:
 
     def record_send(self, message) -> None:
         """Mirror of :meth:`NodeMetrics.record_send` into the registry."""
-        self.messages.labels(node=self.node_label,
-                             msg_type=message.kind.value).inc()
+        kind = message.kind.value
+        child = self._msg_children.get(kind)
+        if child is None:
+            child = self.messages.labels(node=self.node_label,
+                                         msg_type=kind)
+            self._msg_children[kind] = child
+        child.inc()
         self.data_bytes.inc(message.data_bytes)
         self.wire_bytes.inc(message.size_bytes)
 

@@ -225,6 +225,11 @@ LAB_CATALOG: Tuple[MetricSpec, ...] = (
           "Busy-worker seconds over wall seconds x pool size, for "
           "the latest parallel batch.",
           consumers=("BENCH_lab",)),
+    _spec("lab.executor_startup_seconds", GAUGE, "seconds",
+          "One-time cost of spinning up and warming the process pool "
+          "(fork + imports + code-version seeding), measured at first "
+          "parallel batch.",
+          consumers=("BENCH_lab",)),
 )
 
 CATALOG_BY_NAME: Dict[str, MetricSpec] = {

@@ -96,6 +96,10 @@ class Metric:
         self.spec = spec
         self._buckets = tuple(buckets or DEFAULT_BUCKETS)
         self._children: Dict[Tuple, object] = {}
+        # Expected label names precomputed once: labels() sits on the
+        # per-message hot path (docs/performance.md).
+        self._label_names = spec.labels
+        self._label_set = frozenset(spec.labels)
         self._default = None if spec.labels else self.labels()
 
     def _make_child(self):
@@ -105,12 +109,12 @@ class Metric:
 
     def labels(self, **labelvalues):
         """Get (or create) the child for one label-value combination."""
-        expected = self.spec.labels
-        if set(labelvalues) != set(expected):
+        if set(labelvalues) != self._label_set:
             raise MetricError(
-                f"{self.spec.name} takes labels {expected}, "
+                f"{self.spec.name} takes labels {self._label_names}, "
                 f"got {tuple(sorted(labelvalues))}")
-        key = tuple(str(labelvalues[name]) for name in expected)
+        key = tuple(str(labelvalues[name])
+                    for name in self._label_names)
         child = self._children.get(key)
         if child is None:
             child = self._make_child()

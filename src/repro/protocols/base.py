@@ -59,6 +59,13 @@ class BaseProtocol:
     name = "base"
     is_lazy = False
 
+    #: A locally valid page copy satisfies an access with no protocol
+    #: action — lets the API layer (repro.core.api) skip the
+    #: ensure_valid generator on the no-miss fast path.  SC overrides
+    #: the write flag: writing there needs ownership, not validity.
+    valid_copy_serves_reads = True
+    valid_copy_serves_writes = True
+
     #: Policy knobs settable through ``configure`` (ablation studies).
     TUNABLES = ("price_diffs_as_pages",)
 
@@ -68,8 +75,10 @@ class BaseProtocol:
         # DSM without run-length encoding (data volume only; the
         # multiple-writer merge still needs the word-level content).
         self.price_diffs_as_pages = False
-        # Notices for pages we hold no copy of (merged in at install).
+        # Notices for pages we hold no copy of (merged in at install),
+        # with a parallel per-page interval-id set for O(1) dedup.
         self.orphan_notices: Dict[int, List[WriteNotice]] = {}
+        self._orphan_ids: Dict[int, Set[IntervalId]] = {}
         # Own intervals that modified each page (indices, ascending).
         self.own_page_intervals: Dict[int, List[int]] = {}
         # Own modifications not yet flushed/pushed to other cachers:
@@ -121,8 +130,10 @@ class BaseProtocol:
         for page, copy in dirty:
             ranges = copy.take_written_ranges()
             pending_ranges[page] = ranges
+            # record_write keeps the ranges normalized incrementally.
             diff = Diff.from_ranges(page, copy.values, ranges,
-                                    word_size=node.config.word_size)
+                                    word_size=node.config.word_size,
+                                    assume_normalized=True)
             node.diff_store.put(node.proc, index, diff)
             copy.mark_applied(node.proc, index)
             self.own_page_intervals.setdefault(page, []).append(index)
@@ -181,27 +192,32 @@ class BaseProtocol:
         """Merge received interval records: log them and attach write
         notices to the affected page copies (or the orphan list)."""
         node = self.node
+        get_copy = node.pagetable.copies.get
+        copysets = node.copysets
+        interval_log = node.interval_log
         for record in records:
-            if record.proc == node.proc:
+            proc = record.proc
+            if proc == node.proc:
                 continue
-            if record.interval_id in node.interval_log:
+            if record.interval_id in interval_log:
                 continue
-            node.interval_log.add(record)
+            interval_log.add(record)
             node.ins.notices_received.inc(len(record.pages))
             for notice in record.notices():
-                copy = node.pagetable.get(notice.page)
+                copy = get_copy(notice.page)
                 if copy is None:
                     self._add_orphan(notice)
                 elif copy.add_notice(notice):
-                    node.copysets.add(notice.page, notice.proc)
-            node.observe_peer_vc(record.proc, record.vc)
+                    copysets.add(notice.page, proc)
+            node.observe_peer_vc(proc, record.vc)
 
     def _add_orphan(self, notice: WriteNotice) -> None:
-        orphans = self.orphan_notices.setdefault(notice.page, [])
-        for existing in orphans:
-            if existing.interval_id == notice.interval_id:
-                return
-        orphans.append(notice)
+        interval_id = (notice.proc, notice.index)
+        ids = self._orphan_ids.setdefault(notice.page, set())
+        if interval_id in ids:
+            return
+        ids.add(interval_id)
+        self.orphan_notices.setdefault(notice.page, []).append(notice)
         self.node.copysets.add(notice.page, notice.proc)
 
     def store_diffs(self,
@@ -228,8 +244,52 @@ class BaseProtocol:
         update pushes) must wait for the acquire that brings them in:
         applying them early could order them before an unknown
         predecessor."""
-        return [n for n in copy.pending_notices
-                if self.node.vc.dominates(n.vc)]
+        pending = copy.pending_notices
+        if not pending:
+            return []
+        # Memoized per copy, incrementally: a node's clock only ever
+        # advances, so a notice once due stays due until applied —
+        # re-filtering needs to look only at previous strays plus
+        # notices appended since the last call, not the whole list.
+        # Keys are object identities (clocks are immutable; the pending
+        # list only ever grows in place or is swapped wholesale).
+        vc = self.node.vc
+        cached = copy.due_cache
+        # The result must preserve pending-list order (it feeds request
+        # construction and hence message ordering), so the incremental
+        # path only fires when the prior prefix provably keeps its
+        # order: either the clock is unchanged (strays stay strays) or
+        # there were no strays (a monotone clock keeps every prior
+        # entry due, in place).
+        if (cached is not None and cached[1] is pending
+                and (cached[0] is vc or not cached[4])):
+            seen = cached[2]
+            if cached[0] is vc and seen == len(pending):
+                return cached[3]
+            tail = pending[seen:]
+            if not tail:
+                copy.due_cache = (vc, pending, seen,
+                                  cached[3], cached[4])
+                return cached[3]
+            due = list(cached[3])
+            strays = list(cached[4])
+        else:
+            tail = pending
+            due = []
+            strays = []
+        # Inlined VectorClock.dominates: this filter runs on every
+        # acquire/barrier resolution and every miss — the method-call
+        # version dominated whole-run profiles.
+        mine = vc.components
+        for n in tail:
+            for a, b in zip(mine, n.vc.components):
+                if a < b:
+                    strays.append(n)
+                    break
+            else:
+                due.append(n)
+        copy.due_cache = (vc, pending, len(pending), due, strays)
+        return due
 
     def pending_ready(self, copy: PageCopy) -> bool:
         """True if every *due* notice's diff is locally available."""
@@ -347,11 +407,19 @@ class BaseProtocol:
                 return
             if copy is not None and self.apply_pending(copy):
                 return
-            raw = (list(copy.pending_notices) if copy is not None
-                   else list(self.orphan_notices.get(page, ())))
             # Only notices inside our causal cone are fetched; pushed
             # strays wait for the acquire that makes them due.
-            pending = [n for n in raw if node.vc.dominates(n.vc)]
+            if copy is not None:
+                pending = self.due_notices(copy)
+            else:
+                mine = node.vc.components
+                pending = []
+                for n in self.orphan_notices.get(page, ()):
+                    for a, b in zip(mine, n.vc.components):
+                        if a < b:
+                            break
+                    else:
+                        pending.append(n)
             wanted = [n for n in pending
                       if n.proc != node.proc
                       and not node.diff_store.has(n.proc, n.index, page)]
@@ -447,6 +515,7 @@ class BaseProtocol:
         node.metrics.page_transfers += 1
         node.ins.page_transfers.inc()
         # Merge notices parked while we had no copy.
+        self._orphan_ids.pop(page, None)
         for notice in self.orphan_notices.pop(page, ()):  # type: ignore
             copy.add_notice(notice)
         # Our own sealed intervals the source did not cover must be
@@ -626,8 +695,11 @@ class BaseProtocol:
                         if not vc.dominates(n.vc)]
                 if kept:
                     self.orphan_notices[page] = kept
+                    self._orphan_ids[page] = {(n.proc, n.index)
+                                              for n in kept}
                 else:
                     del self.orphan_notices[page]
+                    self._orphan_ids.pop(page, None)
             dropped_set = set(dropped)
             for page in list(self.own_page_intervals):
                 kept_idx = [i for i in self.own_page_intervals[page]

@@ -54,6 +54,9 @@ class SequentialInvalidate(BaseProtocol):
 
     name = "sc"
     is_lazy = False
+    # A valid copy may be read-only (mode READ): writes must still go
+    # through ensure_valid's ownership transaction.
+    valid_copy_serves_writes = False
 
     def __init__(self, node) -> None:
         super().__init__(node)

@@ -6,12 +6,20 @@ timeouts, other processes) and are resumed with the waitable's value.
 
 Time is a float in whatever unit the model chooses; this project uses
 processor cycles throughout (see :mod:`repro.core.config`).
+
+Performance notes (docs/performance.md): :meth:`Simulator.run` and
+:meth:`Simulator.run_all` inline the dispatch loop rather than calling
+:meth:`Simulator.step` per event, batch the event/queue-depth
+observability counters into local ints flushed after the loop, and
+plain numeric yields take a fast path that never allocates an
+:class:`Event`.  All of it is dispatch-for-dispatch identical to the
+naive loop — the golden-parity suite in ``tests/perf`` pins elapsed
+times, event counts, and metric dumps bit for bit.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
 from typing import Any, Callable, Generator, List, Optional, Tuple
 
 from repro.sim.events import AllOf, Condition, Event, Timeout, Timer
@@ -41,18 +49,30 @@ class Process(Event):
         except StopIteration as stop:
             self.succeed(stop.value)
             return
-        if isinstance(target, Process) and target is self:
-            raise SimulationError(f"process {self.name!r} waits on itself")
         if isinstance(target, Event):
+            if target is self:
+                raise SimulationError(
+                    f"process {self.name!r} waits on itself")
             target.add_callback(self._resume)
         elif isinstance(target, (int, float)):
-            Timeout(self.sim, float(target)).add_callback(self._resume)
+            # Fast path for plain numeric yields: schedule the same
+            # two dispatches a Timeout would (fire, then the resume
+            # callback) without allocating an Event.  Identical heap
+            # sequence numbers, identical event counts.
+            if target < 0:
+                raise ValueError(f"negative timeout: {float(target)}")
+            self.sim.schedule(float(target), self._delay_elapsed)
         elif isinstance(target, (list, tuple)):
             AllOf(self.sim, target).add_callback(self._resume)
         else:
             raise SimulationError(
                 f"process {self.name!r} yielded {target!r}; expected an "
                 "Event, a delay, or a list of Events")
+
+    def _delay_elapsed(self) -> None:
+        """Second hop of the numeric-yield fast path (mirrors
+        ``Timeout._fire`` + ``Event.succeed`` scheduling)."""
+        self.sim.schedule(0.0, self._resume, None)
 
 
 class Simulator:
@@ -61,18 +81,21 @@ class Simulator:
     def __init__(self) -> None:
         self.now: float = 0.0
         self._queue: List[Tuple[float, int, Callable, Any]] = []
-        self._sequence = itertools.count()
+        self._seq = 0
         self.processed_events = 0
-        # Observability (optional): bound registry children, attached
-        # by the machine via attach_obs().
+        # Observability (optional): bound registry *children* (one
+        # attribute access + one addition per flush), attached by the
+        # machine via attach_obs().
         self._obs_events = None
         self._obs_queue_depth = None
 
     def attach_obs(self, obs) -> None:
-        """Emit event-dispatch and queue-depth metrics to ``obs``."""
+        """Emit event-dispatch and queue-depth metrics to ``obs``.
+        Metric handles are resolved once here, never per event."""
         self._obs_events = obs.registry.get(
-            "sim.events_dispatched_total")
-        self._obs_queue_depth = obs.registry.get("sim.queue_depth_peak")
+            "sim.events_dispatched_total").labels()
+        self._obs_queue_depth = obs.registry.get(
+            "sim.queue_depth_peak").labels()
 
     # -- scheduling ------------------------------------------------------
 
@@ -80,9 +103,9 @@ class Simulator:
         """Run ``callback(*args)`` at ``now + delay``."""
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past: {delay}")
+        self._seq += 1
         heapq.heappush(self._queue,
-                       (self.now + delay, next(self._sequence),
-                        callback, args))
+                       (self.now + delay, self._seq, callback, args))
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         return Timeout(self, delay, value)
@@ -106,8 +129,20 @@ class Simulator:
 
     # -- execution -------------------------------------------------------
 
+    def _flush_counters(self, dispatched: int, depth_peak: int) -> None:
+        """Fold a loop's locally-batched counters into the shared
+        bookkeeping (always runs, even when the loop raises)."""
+        self.processed_events += dispatched
+        if self._obs_events is not None and dispatched:
+            self._obs_events.inc(dispatched)
+        if self._obs_queue_depth is not None:
+            self._obs_queue_depth.set_max(depth_peak)
+
     def step(self) -> bool:
-        """Run the earliest pending event.  Returns False when empty."""
+        """Run the earliest pending event.  Returns False when empty.
+
+        Convenience/debug entry point: the batch loops below inline
+        this body instead of paying a method call per event."""
         if not self._queue:
             return False
         if self._obs_queue_depth is not None:
@@ -126,15 +161,28 @@ class Simulator:
             max_events: Optional[int] = None) -> float:
         """Run until the queue drains, ``until`` is reached, or
         ``max_events`` have been processed.  Returns the final time."""
-        processed = 0
-        while self._queue:
-            if until is not None and self._queue[0][0] > until:
-                self.now = until
-                break
-            if max_events is not None and processed >= max_events:
-                break
-            self.step()
-            processed += 1
+        queue = self._queue
+        pop = heapq.heappop
+        dispatched = 0
+        depth_peak = 0
+        try:
+            while queue:
+                if until is not None and queue[0][0] > until:
+                    self.now = until
+                    break
+                if max_events is not None and dispatched >= max_events:
+                    break
+                depth = len(queue)
+                if depth > depth_peak:
+                    depth_peak = depth
+                time, _seq, callback, args = pop(queue)
+                if time < self.now:
+                    raise SimulationError("time went backwards")
+                self.now = time
+                callback(*args)
+                dispatched += 1
+        finally:
+            self._flush_counters(dispatched, depth_peak)
         return self.now
 
     def run_process(self, process: Process,
@@ -149,12 +197,25 @@ class Simulator:
 
     def run_all(self, stop: Optional[Callable[[], bool]] = None,
                 max_events: Optional[int] = None) -> float:
-        processed = 0
-        while self._queue:
-            if stop is not None and stop():
-                break
-            if max_events is not None and processed >= max_events:
-                break
-            self.step()
-            processed += 1
+        queue = self._queue
+        pop = heapq.heappop
+        dispatched = 0
+        depth_peak = 0
+        try:
+            while queue:
+                if stop is not None and stop():
+                    break
+                if max_events is not None and dispatched >= max_events:
+                    break
+                depth = len(queue)
+                if depth > depth_peak:
+                    depth_peak = depth
+                time, _seq, callback, args = pop(queue)
+                if time < self.now:
+                    raise SimulationError("time went backwards")
+                self.now = time
+                callback(*args)
+                dispatched += 1
+        finally:
+            self._flush_counters(dispatched, depth_peak)
         return self.now

@@ -53,12 +53,18 @@ class Timeout(Event):
     def __init__(self, sim, delay: float, value: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"negative timeout: {delay}")
-        super().__init__(sim, name=f"timeout({delay:g})")
+        # Name rendered lazily in __repr__: Timeouts are allocated on
+        # the hot path and the f-string cost is measurable.
+        super().__init__(sim, name="timeout")
         self.delay = delay
         sim.schedule(delay, self._fire, value)
 
     def _fire(self, value: Any) -> None:
         self.succeed(value)
+
+    def __repr__(self) -> str:
+        state = "triggered" if self.triggered else "pending"
+        return f"<Timeout({self.delay:g}) {state}>"
 
 
 class Timer(Timeout):

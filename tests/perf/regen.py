@@ -1,0 +1,18 @@
+"""Regenerate the perf parity goldens (see tests/perf/parity.py)."""
+
+import os
+
+from tests.perf.parity import canonical_dump, cases, golden_path
+
+
+def main() -> None:
+    os.makedirs(os.path.dirname(golden_path("x")), exist_ok=True)
+    for name, spec in cases():
+        dump = canonical_dump(spec)
+        with open(golden_path(name), "w") as handle:
+            handle.write(dump + "\n")
+        print(f"wrote {golden_path(name)} ({len(dump)} bytes)")
+
+
+if __name__ == "__main__":
+    main()

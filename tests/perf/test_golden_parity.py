@@ -1,0 +1,27 @@
+"""Byte-for-byte parity against the pre-optimization goldens.
+
+Every hot-path change (inlined dispatch loop, incremental run-merge,
+due-notice memoization, cached interval notices, pre-bound metric
+children, ...) must leave the simulation's observable output — the
+full canonical RunResult dump, metrics registry included — unchanged
+down to the byte.  See tests/perf/parity.py for the matrix and
+docs/performance.md for why this gate exists.
+"""
+
+import pytest
+
+from tests.perf.parity import canonical_dump, cases, golden_path
+
+CASES = cases()
+
+
+@pytest.mark.parametrize("name,spec", CASES,
+                         ids=[name for name, _ in CASES])
+def test_golden_byte_parity(name, spec):
+    with open(golden_path(name)) as handle:
+        golden = handle.read()
+    # regen.py writes the dump plus a trailing newline.
+    assert canonical_dump(spec) + "\n" == golden, (
+        f"optimized simulation diverged from golden {name!r}; if the "
+        "behavior change is intentional, regenerate with "
+        "`PYTHONPATH=src:. python -m tests.perf.regen`")

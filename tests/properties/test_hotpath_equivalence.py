@@ -1,0 +1,128 @@
+"""Property tests pinning the hot-path rewrites to their oracles.
+
+Each optimized structure on the protocol critical path has a slow,
+obviously-correct formulation; Hypothesis drives both through random
+operation sequences and demands equality (docs/performance.md):
+
+- :meth:`repro.mem.pages.PageCopy.record_write` (incremental run
+  merge) vs append-everything-then-:func:`normalize_ranges`;
+- :meth:`repro.mem.intervals.IntervalLog.records_after` (per-proc
+  bisect index) vs a flat scan of the whole log;
+- :meth:`repro.protocols.base.BaseProtocol.due_notices` (memoized
+  incremental partition) vs a naive dominance filter, across
+  interleaved notice arrivals and monotone clock advances.
+"""
+
+from types import SimpleNamespace
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem.diffs import normalize_ranges
+from repro.mem.intervals import IntervalLog, IntervalRecord, WriteNotice
+from repro.mem.pages import PageCopy
+from repro.mem.timestamps import VectorClock
+from repro.protocols.base import BaseProtocol
+
+PAGE_WORDS = 64
+
+ranges_lists = st.lists(
+    st.tuples(st.integers(0, PAGE_WORDS - 1),
+              st.integers(1, 16)).map(
+        lambda se: (se[0], min(PAGE_WORDS, se[0] + se[1]))),
+    max_size=30)
+
+
+@given(ranges=ranges_lists)
+def test_record_write_matches_normalize_oracle(ranges):
+    copy = PageCopy(page=0, words=PAGE_WORDS)
+    for start, end in ranges:
+        copy.record_write(start, end)
+    assert copy.written == normalize_ranges(ranges)
+    # Sorted and pairwise disjoint, as take_written_ranges relies on.
+    for (_, e1), (s2, _) in zip(copy.written, copy.written[1:]):
+        assert e1 < s2
+
+
+@st.composite
+def interval_batches(draw):
+    nprocs = draw(st.integers(2, 4))
+    entries = draw(st.lists(
+        st.tuples(st.integers(0, nprocs - 1), st.integers(1, 12)),
+        min_size=1, max_size=25))
+    # Give (proc, index) a plausible clock: index at own position,
+    # arbitrary small knowledge of the others.
+    records = []
+    for proc, index in entries:
+        components = [draw(st.integers(0, 12)) for _ in range(nprocs)]
+        components[proc] = index
+        records.append(IntervalRecord(
+            proc=proc, index=index, vc=VectorClock(components),
+            pages=frozenset(draw(st.sets(st.integers(0, 5),
+                                         max_size=3)))))
+    query = VectorClock([draw(st.integers(0, 12))
+                         for _ in range(nprocs)])
+    return records, query
+
+
+@given(batch=interval_batches())
+def test_records_after_matches_flat_scan(batch):
+    records, query = batch
+    log = IntervalLog()
+    for record in records:
+        log.add(record)
+    first_seen = {}
+    for record in records:       # log.add keeps the first duplicate
+        first_seen.setdefault(record.interval_id, record)
+    oracle = sorted(
+        (r for r in first_seen.values() if r.index > query[r.proc]),
+        key=lambda r: (r.vc.total(), r.proc, r.index))
+    assert log.records_after(query) == oracle
+
+
+@st.composite
+def notice_scripts(draw):
+    """Interleaved script of notice arrivals and clock advances."""
+    nprocs = draw(st.integers(2, 4))
+    steps = draw(st.lists(st.one_of(
+        # ("notice", proc, index, vc components)
+        st.tuples(st.just("notice"), st.integers(0, nprocs - 1),
+                  st.integers(1, 15),
+                  st.lists(st.integers(0, 15), min_size=nprocs,
+                           max_size=nprocs)),
+        # ("advance", proc): node.vc = node.vc.incremented(proc)
+        st.tuples(st.just("advance"), st.integers(0, nprocs - 1)),
+        # ("merge", vc components): node.vc = node.vc.merged(other)
+        st.tuples(st.just("merge"),
+                  st.lists(st.integers(0, 15), min_size=nprocs,
+                           max_size=nprocs)),
+    ), min_size=1, max_size=30))
+    return nprocs, steps
+
+
+@given(script=notice_scripts())
+@settings(max_examples=200)
+def test_due_notices_memo_matches_naive_filter(script):
+    nprocs, steps = script
+    node = SimpleNamespace(vc=VectorClock.zero(nprocs))
+    protocol = SimpleNamespace(node=node)
+    copy = PageCopy(page=0, words=PAGE_WORDS)
+
+    def naive():
+        return [n for n in copy.pending_notices
+                if node.vc.dominates(n.vc)]
+
+    for step in steps:
+        if step[0] == "notice":
+            _, proc, index, components = step
+            copy.add_notice(WriteNotice(
+                page=0, proc=proc, index=index,
+                vc=VectorClock(components)))
+        elif step[0] == "advance":
+            node.vc = node.vc.incremented(step[1])
+        else:
+            node.vc = node.vc.merged(VectorClock(step[1]))
+        # The memoized partition must agree with the naive filter —
+        # same notices, same (pending-list) order — after every
+        # mutation, however the cache hits land.
+        assert BaseProtocol.due_notices(protocol, copy) == naive()
