@@ -1,0 +1,149 @@
+"""Contention profiles: where did the waiting happen?
+
+Digests a causal trace into per-lock, per-page, and per-link
+profiles — wait-time totals, maxima, and coarse histograms — the
+"top-N hot spots" view that complements the critical path (a lock can
+burn enormous aggregate wait without ever gating the run).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.obs.causal import CausalTrace
+
+#: Wait-time histogram bucket upper bounds (cycles).
+BUCKETS = (1_000.0, 10_000.0, 100_000.0, 1_000_000.0, float("inf"))
+
+
+def _bucket_index(value: float) -> int:
+    for index, bound in enumerate(BUCKETS):
+        if value <= bound:
+            return index
+    return len(BUCKETS) - 1
+
+
+@dataclass
+class WaitProfile:
+    """Wait-time accounting for one contended resource."""
+
+    count: int = 0
+    total: float = 0.0
+    max: float = 0.0
+    histogram: List[int] = field(
+        default_factory=lambda: [0] * len(BUCKETS))
+
+    def add(self, waited: float) -> None:
+        self.count += 1
+        self.total += waited
+        if waited > self.max:
+            self.max = waited
+        self.histogram[_bucket_index(waited)] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+@dataclass
+class LinkProfile(WaitProfile):
+    """Per-link traffic: wait is medium/port queueing."""
+
+    messages: int = 0
+    wire: float = 0.0
+    backoff: float = 0.0
+
+
+@dataclass
+class ContentionReport:
+    locks: Dict[int, WaitProfile] = field(default_factory=dict)
+    pages: Dict[int, WaitProfile] = field(default_factory=dict)
+    links: Dict[Tuple[int, int], LinkProfile] = field(
+        default_factory=dict)
+    #: cold-miss counts folded into the page profile
+    cold_faults: Dict[int, int] = field(default_factory=dict)
+
+    def top_locks(self, n: int = 10) -> List[Tuple[int, WaitProfile]]:
+        return sorted(self.locks.items(),
+                      key=lambda kv: kv[1].total, reverse=True)[:n]
+
+    def top_pages(self, n: int = 10) -> List[Tuple[int, WaitProfile]]:
+        return sorted(self.pages.items(),
+                      key=lambda kv: kv[1].total, reverse=True)[:n]
+
+    def top_links(self, n: int = 10
+                  ) -> List[Tuple[Tuple[int, int], LinkProfile]]:
+        return sorted(self.links.items(),
+                      key=lambda kv: kv[1].total, reverse=True)[:n]
+
+
+def contention_report(trace: CausalTrace) -> ContentionReport:
+    """Build the three profiles from one run's trace."""
+    report = ContentionReport()
+    fault_start: Dict[Tuple[int, int], bool] = {}
+    for event in trace.events:
+        name = event.name
+        fields = event.fields
+        if name == "sync.lock_acquired":
+            lock = fields.get("lock")
+            profile = report.locks.setdefault(lock, WaitProfile())
+            profile.add(fields.get("wait_cycles", 0.0))
+        elif name == "protocol.page_fault":
+            key = (fields.get("node"), fields.get("page"))
+            fault_start[key] = bool(fields.get("cold"))
+        elif name == "protocol.fault_done":
+            page = fields.get("page")
+            profile = report.pages.setdefault(page, WaitProfile())
+            profile.add(fields.get("waited", 0.0))
+            key = (fields.get("node"), page)
+            if fault_start.pop(key, False):
+                report.cold_faults[page] = (
+                    report.cold_faults.get(page, 0) + 1)
+    for message in trace.messages.values():
+        if message.accept_ts is None:
+            continue
+        key = (message.src, message.dst)
+        profile = report.links.setdefault(key, LinkProfile())
+        profile.add(message.waited)
+        profile.messages += 1
+        profile.wire += message.wire
+        profile.backoff += message.backoff
+    return report
+
+
+def _histogram_cell(profile: WaitProfile) -> str:
+    return "/".join(str(count) for count in profile.histogram)
+
+
+def format_contention(report: ContentionReport, top: int = 10) -> str:
+    """Human-readable top-N tables (buckets: <=1k/<=10k/<=100k/<=1M/
+    >1M cycles)."""
+    lines: List[str] = []
+    lines.append(f"hot locks (top {top} by total wait):")
+    if not report.locks:
+        lines.append("  (none)")
+    for lock, profile in report.top_locks(top):
+        lines.append(
+            f"  lock {lock:<6} acquires {profile.count:>6} "
+            f"total {profile.total:>14,.0f} mean {profile.mean:>10,.0f}"
+            f" max {profile.max:>12,.0f}  [{_histogram_cell(profile)}]")
+    lines.append(f"hot pages (top {top} by total miss wait):")
+    if not report.pages:
+        lines.append("  (none)")
+    for page, profile in report.top_pages(top):
+        cold = report.cold_faults.get(page, 0)
+        lines.append(
+            f"  page {page:<6} faults {profile.count:>6} "
+            f"(cold {cold}) total {profile.total:>14,.0f} "
+            f"mean {profile.mean:>10,.0f} max {profile.max:>12,.0f}"
+            f"  [{_histogram_cell(profile)}]")
+    lines.append(f"hot links (top {top} by total queueing):")
+    if not report.links:
+        lines.append("  (none)")
+    for (src, dst), profile in report.top_links(top):
+        lines.append(
+            f"  {src}->{dst:<4} messages {profile.messages:>7} "
+            f"wire {profile.wire:>14,.0f} waited {profile.total:>14,.0f}"
+            f" backoff {profile.backoff:>12,.0f}")
+    return "\n".join(lines)

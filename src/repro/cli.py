@@ -80,7 +80,8 @@ def _lab(args) -> Lab:
     return Lab(jobs=getattr(args, "jobs", None),
                cache_dir=getattr(args, "cache_dir", DEFAULT_CACHE_DIR),
                cache=not no_cache,
-               progress=True)
+               progress=True,
+               trace_dir=getattr(args, "trace_dir", None))
 
 
 def _spec(args, nprocs: Optional[int] = None,
@@ -262,6 +263,79 @@ def cmd_losssweep(args) -> int:
     return 0
 
 
+def _causal_trace(args):
+    """A :class:`repro.obs.CausalTrace` for the trace subcommands:
+    replay ``--from FILE`` if given, else simulate the requested run
+    in-process with an in-memory sink (a traced run is all about the
+    side effect, so it bypasses the lab cache like ``stats --trace``
+    and ``profile`` do)."""
+    from repro.obs import (CausalTrace, MemorySink, Observability,
+                           Tracer)
+
+    if args.from_file:
+        return CausalTrace.from_jsonl(args.from_file)
+    if args.app is None:
+        raise SystemExit("trace: pass an app name or --from FILE")
+    sink = MemorySink()
+    obs = Observability(tracer=Tracer(sink))
+    run_app(_app(args), _config(args), protocol=args.protocol,
+            obs=obs)
+    return CausalTrace(sink.events)
+
+
+def cmd_trace_export(args) -> int:
+    """Export a run's trace as Chrome trace-event JSON (load it at
+    ui.perfetto.dev or chrome://tracing; message flow arrows link
+    sends to receives)."""
+    from repro.obs import chrome_trace, validate_chrome_trace
+
+    trace = _causal_trace(args)
+    exported = chrome_trace(trace)
+    errors = validate_chrome_trace(exported)
+    if errors:
+        for error in errors:
+            print(f"schema error: {error}", file=sys.stderr)
+        return 1
+    with open(args.out, "w") as handle:
+        json.dump(exported, handle)
+        handle.write("\n")
+    n_events = len(exported["traceEvents"])
+    n_flows = sum(1 for e in exported["traceEvents"]
+                  if e.get("ph") == "s")
+    print(f"wrote {args.out}: {n_events} trace events, "
+          f"{n_flows} message flows, {len(trace.events)} raw events")
+    return 0
+
+
+def cmd_trace_critical_path(args) -> int:
+    """Critical-path breakdown of one run: which compute, diff, wire,
+    contention, and software-overhead cycles actually gated the
+    elapsed time (docs/tracing.md)."""
+    from repro.analysis.critical_path import critical_path
+
+    trace = _causal_trace(args)
+    result = critical_path(trace, keep_segments=args.segments)
+    print(result.format())
+    if args.segments:
+        print()
+        print(f"{'t0':>14s} {'t1':>14s} {'category':<11s} where")
+        for seg in reversed(result.segments):
+            print(f"{seg.t0:14.1f} {seg.t1:14.1f} "
+                  f"{seg.category:<11s} {seg.where}")
+    return 0
+
+
+def cmd_trace_contention(args) -> int:
+    """Per-lock, per-page, and per-link contention profiles (wait
+    totals, maxima, and wait-time histograms) from one run's trace."""
+    from repro.analysis.contention import (contention_report,
+                                           format_contention)
+
+    trace = _causal_trace(args)
+    print(format_contention(contention_report(trace), top=args.top))
+    return 0
+
+
 def cmd_report(args) -> int:
     """Regenerate the full EXPERIMENTS.md report."""
     from repro.analysis.generate_report import generate
@@ -294,6 +368,12 @@ def build_parser() -> argparse.ArgumentParser:
                        dest="no_cache",
                        help="always simulate; neither read nor write "
                             "the result cache")
+        p.add_argument("--trace-dir", default=None, dest="trace_dir",
+                       metavar="DIR",
+                       help="stream a JSONL event trace per executed "
+                            "spec into DIR (cache hits trace "
+                            "nothing; combine with --no-cache to "
+                            "trace everything — docs/tracing.md)")
 
     def common(p, with_app=True, app_optional=False):
         if with_app:
@@ -386,6 +466,43 @@ def build_parser() -> argparse.ArgumentParser:
                         help="comma-separated protocol subset "
                              "(default: all five)")
     p_loss.set_defaults(func=cmd_losssweep)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="causal-trace tools: Chrome/Perfetto export, "
+             "critical-path breakdown, contention profiles")
+    trace_sub = p_trace.add_subparsers(dest="action", required=True)
+
+    def trace_common(p):
+        common(p, app_optional=True)
+        p.add_argument("--from", dest="from_file", default=None,
+                       metavar="FILE",
+                       help="replay a JSONL trace (e.g. from "
+                            "`stats --trace` or Lab(trace_dir=...)) "
+                            "instead of simulating")
+
+    p_texp = trace_sub.add_parser("export",
+                                  help=cmd_trace_export.__doc__)
+    trace_common(p_texp)
+    p_texp.add_argument("--out", default="trace.json", metavar="FILE",
+                        help="Chrome trace-event JSON output "
+                             "(default: trace.json)")
+    p_texp.set_defaults(func=cmd_trace_export)
+
+    p_tcp = trace_sub.add_parser("critical-path",
+                                 help=cmd_trace_critical_path.__doc__)
+    trace_common(p_tcp)
+    p_tcp.add_argument("--segments", action="store_true",
+                       help="also print every attributed span of the "
+                            "path, oldest first")
+    p_tcp.set_defaults(func=cmd_trace_critical_path)
+
+    p_tcon = trace_sub.add_parser("contention",
+                                  help=cmd_trace_contention.__doc__)
+    trace_common(p_tcon)
+    p_tcon.add_argument("--top", type=int, default=10, metavar="N",
+                        help="rows per table (default: 10)")
+    p_tcon.set_defaults(func=cmd_trace_contention)
 
     p_rep = sub.add_parser("report", help=cmd_report.__doc__)
     p_rep.add_argument("output", nargs="?", default="EXPERIMENTS.md")

@@ -61,6 +61,10 @@ class Node:
         # CPU/interrupt model.
         self._handler_busy_until = 0.0
         self._interrupt_cycles = 0.0
+        # Causal id of the message currently being dispatched; stamps
+        # handler-context sends so traces can chain request->response
+        # hops.  Only maintained while tracing is enabled.
+        self._trace_cause: Optional[int] = None
         # Multithreading (the paper's future-work extension): several
         # application threads share this node; computation serializes
         # on the CPU while blocked threads overlap their communication.
@@ -120,6 +124,7 @@ class Node:
         if self.multithreaded:
             yield self.cpu_resource.request()
         try:
+            started = self.sim.now
             stolen_before = self._interrupt_cycles
             # Bare-number yields take the engine's allocation-free
             # delay fast path (same dispatch sequence as a Timeout).
@@ -132,6 +137,9 @@ class Node:
                 extra = stolen - paid
                 paid = stolen
                 yield extra
+            if self.tracer:
+                self.tracer.emit("cpu.compute", node=self.proc,
+                                 started=started, cycles=cycles)
         finally:
             if self.multithreaded:
                 self.cpu_resource.release()
@@ -186,10 +194,12 @@ class Node:
         self.metrics.record_send(message)
         self.ins.record_send(message)
         if self.tracer:
-            self.tracer.emit("msg.send", src=message.src,
+            self.tracer.emit("msg.send", msg=message.msg_id,
+                             src=message.src,
                              dst=message.dst, kind=message.kind.value,
                              data_bytes=message.data_bytes,
-                             context="app")
+                             context="app",
+                             reply_to=message.reply_to)
         yield from self.app_charge(self._message_overhead(message))
         self.machine.transmit(message)
 
@@ -200,10 +210,13 @@ class Node:
         self.metrics.record_send(message)
         self.ins.record_send(message)
         if self.tracer:
-            self.tracer.emit("msg.send", src=message.src,
+            self.tracer.emit("msg.send", msg=message.msg_id,
+                             src=message.src,
                              dst=message.dst, kind=message.kind.value,
                              data_bytes=message.data_bytes,
-                             context="handler")
+                             context="handler",
+                             reply_to=message.reply_to,
+                             cause=self._trace_cause)
         ready = self.handler_charge(self._message_overhead(message))
         self.sim.schedule(ready - self.sim.now,
                           self.machine.transmit, message)
@@ -237,6 +250,9 @@ class Node:
         if event is None:
             raise SimulationError(
                 f"unexpected reply {message} (no pending request)")
+        if self.tracer:
+            self.tracer.emit("sched.wake", node=self.proc,
+                             kind="reply", cause=message.msg_id)
         event.succeed(message)
         return True
 
@@ -249,13 +265,16 @@ class Node:
             raise SimulationError(
                 f"node {self.proc} received message for {message.dst}")
         if self.tracer:
-            self.tracer.emit("msg.recv", src=message.src,
+            self.tracer.emit("msg.recv", msg=message.msg_id,
+                             src=message.src,
                              dst=message.dst, kind=message.kind.value,
                              data_bytes=message.data_bytes)
         done = self.handler_charge(self._message_overhead(message))
         self.sim.schedule(done - self.sim.now, self._dispatch, message)
 
     def _dispatch(self, message: Message) -> None:
+        if self.tracer:
+            self._trace_cause = message.msg_id
         if self._resolve_reply(message):
             return
         kind = message.kind

@@ -97,7 +97,8 @@ def _execute_payload(payload: dict) -> dict:
     started = time.perf_counter()
     try:
         spec = RunSpec.from_dict(payload["spec"])
-        result = execute_spec(spec)
+        result = execute_spec(spec,
+                              trace_path=payload.get("trace_path"))
         return {"fingerprint": payload["fingerprint"], "ok": True,
                 "result": result.to_dict(),
                 "seconds": time.perf_counter() - started}
@@ -134,12 +135,21 @@ class Lab:
     spins up a process pool of that size.  ``cache=False`` disables
     memoization entirely (every spec executes); ``cache_dir=None``
     keeps the memo but skips the disk tier.
+
+    ``trace_dir`` streams a JSONL trace of every *executed* spec into
+    that directory — one file per spec (so pool workers never share a
+    sink and lines cannot interleave), named
+    ``<app>-<protocol>-<fingerprint12>.jsonl``.  Cache hits skip
+    execution and therefore produce no trace; run with
+    ``cache=False`` to trace everything (determinism guarantees the
+    traced run equals the cached one).
     """
 
     def __init__(self, jobs: Optional[int] = None,
                  cache_dir: Optional[str] = None, cache: bool = True,
                  retries: int = 1, progress: bool = False,
-                 registry: Optional[MetricsRegistry] = None) -> None:
+                 registry: Optional[MetricsRegistry] = None,
+                 trace_dir: Optional[str] = None) -> None:
         if jobs is not None and jobs < 1:
             raise ValueError("jobs must be >= 1 (or None for serial)")
         if retries < 0:
@@ -150,6 +160,9 @@ class Lab:
                      if cache and cache_dir else None)
         self.retries = retries
         self.progress = progress
+        self.trace_dir = trace_dir
+        if trace_dir is not None:
+            os.makedirs(trace_dir, exist_ok=True)
         self._memo: Dict[str, RunResult] = {}
         self._payload_memo: Dict[str, object] = {}
         self._pool: Optional[ProcessPoolExecutor] = None
@@ -293,6 +306,16 @@ class Lab:
 
     # -- execution strategies ------------------------------------------
 
+    def _trace_path(self, fingerprint: str,
+                    spec: RunSpec) -> Optional[str]:
+        """Per-spec trace file under ``trace_dir`` (None when the lab
+        is not tracing)."""
+        if self.trace_dir is None:
+            return None
+        return os.path.join(
+            self.trace_dir,
+            f"{spec.app}-{spec.protocol}-{fingerprint[:12]}.jsonl")
+
     def _run_serial(self, to_run, resolved, failed) -> float:
         busy = 0.0
         for fingerprint, spec in to_run.items():
@@ -301,7 +324,10 @@ class Lab:
                     self._m_retries.inc()
                 started = time.perf_counter()
                 try:
-                    result = execute_spec(spec)
+                    result = execute_spec(
+                        spec,
+                        trace_path=self._trace_path(fingerprint,
+                                                    spec))
                 except BaseException as exc:  # noqa: BLE001
                     busy += time.perf_counter() - started
                     failure = LabFailure(
@@ -327,7 +353,8 @@ class Lab:
         attempts = {fp: 1 for fp in to_run}
         executor = self._executor()
         workers = self.effective_jobs
-        items = [{"fingerprint": fingerprint, "spec": spec.to_dict()}
+        items = [{"fingerprint": fingerprint, "spec": spec.to_dict(),
+                  "trace_path": self._trace_path(fingerprint, spec)}
                  for fingerprint, spec in to_run.items()]
         # Chunk small runs: ~4 chunks per worker amortizes pickling
         # and future overhead while keeping the tail balanced.  A
@@ -380,7 +407,9 @@ class Lab:
                         retry = self._executor().submit(
                             _execute_payload_batch,
                             [{"fingerprint": fingerprint,
-                              "spec": spec.to_dict()}])
+                              "spec": spec.to_dict(),
+                              "trace_path": self._trace_path(
+                                  fingerprint, spec)}])
                         pending[retry] = [fingerprint]
                     else:
                         failed[fingerprint] = LabFailure(

@@ -127,32 +127,51 @@ def payload_fingerprint(kind: str, params: dict,
     return hashlib.sha256(payload.encode()).hexdigest()
 
 
-def execute_spec(spec: RunSpec) -> RunResult:
+def execute_spec(spec: RunSpec,
+                 trace_path: Optional[str] = None) -> RunResult:
     """Run one spec in this process (workers and the serial path both
-    land here)."""
+    land here).
+
+    ``trace_path`` optionally streams the run's trace events to a
+    JSONL file (gzipped for ``.gz`` paths).  The path is *not* part of
+    the spec and never enters the cache fingerprint — tracing observes
+    a run, it does not change one (determinism makes the traced run
+    identical to the cached one)."""
     from repro.apps import create_app
     from repro.core.runner import run_app
 
+    obs = None
+    if trace_path is not None:
+        from repro.obs import JsonlSink, Observability, Tracer
+        obs = Observability(tracer=Tracer(JsonlSink(str(trace_path))))
+
     app = create_app(spec.app, **spec.app_params)
-    if spec.threads_per_proc == 1:
-        return run_app(app, spec.config, protocol=spec.protocol,
-                       max_events=spec.max_events,
-                       protocol_options=spec.protocol_options,
-                       lock_broadcast=spec.lock_broadcast)
+    try:
+        if spec.threads_per_proc == 1:
+            return run_app(app, spec.config, protocol=spec.protocol,
+                           max_events=spec.max_events,
+                           protocol_options=spec.protocol_options,
+                           lock_broadcast=spec.lock_broadcast,
+                           obs=obs)
 
-    # The multithreading extension (paper section 8): each node runs
-    # ``threads_per_proc`` generators from ``app.worker_thread``.
-    from repro.core.api import DsmApi
-    from repro.core.machine import Machine
+        # The multithreading extension (paper section 8): each node
+        # runs ``threads_per_proc`` generators from
+        # ``app.worker_thread``.
+        from repro.core.api import DsmApi
+        from repro.core.machine import Machine
 
-    machine = Machine(spec.config, protocol=spec.protocol,
-                      protocol_options=spec.protocol_options,
-                      lock_broadcast=spec.lock_broadcast)
-    shared = app.setup(machine)
-    result = machine.run(
-        lambda proc, thread: app.worker_thread(
-            DsmApi(machine.nodes[proc]), proc, thread, shared),
-        threads_per_proc=spec.threads_per_proc,
-        max_events=spec.max_events, app=app.name)
-    app.finish(machine, shared, result)
-    return result
+        machine = Machine(spec.config, protocol=spec.protocol,
+                          protocol_options=spec.protocol_options,
+                          lock_broadcast=spec.lock_broadcast,
+                          obs=obs)
+        shared = app.setup(machine)
+        result = machine.run(
+            lambda proc, thread: app.worker_thread(
+                DsmApi(machine.nodes[proc]), proc, thread, shared),
+            threads_per_proc=spec.threads_per_proc,
+            max_events=spec.max_events, app=app.name)
+        app.finish(machine, shared, result)
+        return result
+    finally:
+        if obs is not None:
+            obs.close()

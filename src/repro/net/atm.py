@@ -48,4 +48,10 @@ class AtmNetwork(Network):
         self._out_free[message.src] = end
         self._in_free[message.dst] = end
         self.stats.record(message, wire, waited)
+        tracer = self._tracer
+        if tracer is not None and tracer.sink.enabled:
+            tracer.emit("net.xmit", msg=message.msg_id,
+                        src=message.src, dst=message.dst,
+                        kind=message.kind.value, wire=wire,
+                        waited=waited)
         return end + self.latency_cycles

@@ -88,6 +88,7 @@ class Network(ABC):
         self.latency_cycles = config.us_to_cycles(config.network.latency_us)
         self._deliver: Optional[Callable[[Message], None]] = None
         self.faults = None
+        self._tracer = None
 
     def attach(self, deliver: Callable[[Message], None]) -> None:
         """Register the machine-level delivery callback."""
@@ -102,6 +103,7 @@ class Network(ABC):
         extend this with their model-specific metrics (collisions,
         backoff, port contention)."""
         self.stats.attach_obs(obs)
+        self._tracer = obs.tracer
 
     def wire_cycles(self, message: Message) -> float:
         return self.config.wire_cycles(message.size_bytes)

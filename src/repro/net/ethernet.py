@@ -70,9 +70,16 @@ class EthernetNetwork(Network):
             end = start + wire
             self.sim.schedule(end - now, self._release_slot)
         else:
+            backoff = 0.0
             end = start + wire
         self._free_at = end
         self.stats.record(message, wire, waited)
+        tracer = self._tracer
+        if tracer is not None and tracer.sink.enabled:
+            tracer.emit("net.xmit", msg=message.msg_id,
+                        src=message.src, dst=message.dst,
+                        kind=message.kind.value, wire=wire,
+                        waited=waited, backoff=backoff)
         return end + self.latency_cycles
 
     def _release_slot(self) -> None:

@@ -23,4 +23,10 @@ class IdealNetwork(Network):
 
     def _schedule(self, message: Message) -> float:
         self.stats.record(message, 0.0, 0.0)
+        tracer = self._tracer
+        if tracer is not None and tracer.sink.enabled:
+            tracer.emit("net.xmit", msg=message.msg_id,
+                        src=message.src, dst=message.dst,
+                        kind=message.kind.value, wire=0.0,
+                        waited=0.0)
         return self.sim.now + self.latency_cycles

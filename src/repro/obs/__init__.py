@@ -19,18 +19,23 @@ from repro.obs.catalog import (CATALOG, CATALOG_BY_NAME, LAB_CATALOG,
                                install_lab, install_robustness)
 from repro.obs.registry import (DEFAULT_BUCKETS, Metric, MetricError,
                                 MetricsRegistry)
+from repro.obs.causal import CausalGraph, CausalTrace
+from repro.obs.chrome_trace import chrome_trace, validate_chrome_trace
 from repro.obs.timers import Span
-from repro.obs.tracer import (JsonlSink, MemorySink, NullSink,
-                              TraceEvent, TraceSink, Tracer,
+from repro.obs.tracer import (TRACE_EVENTS, JsonlSink, MemorySink,
+                              NullSink, TraceEvent, TraceSink, Tracer,
                               read_jsonl)
 
 __all__ = [
-    "CATALOG", "CATALOG_BY_NAME", "DEFAULT_BUCKETS", "JsonlSink",
+    "CATALOG", "CATALOG_BY_NAME", "CausalGraph", "CausalTrace",
+    "DEFAULT_BUCKETS", "JsonlSink",
     "LAB_CATALOG", "MemorySink", "Metric", "MetricError", "MetricSpec",
     "MetricsRegistry", "NodeInstruments", "NullSink", "Observability",
-    "ROBUSTNESS_CATALOG", "SYNC_MSG_TYPES", "Span", "TraceEvent",
-    "TraceSink", "Tracer", "install_catalog", "install_lab",
-    "install_robustness", "read_jsonl",
+    "ROBUSTNESS_CATALOG", "SYNC_MSG_TYPES", "Span", "TRACE_EVENTS",
+    "TraceEvent",
+    "TraceSink", "Tracer", "chrome_trace", "install_catalog",
+    "install_lab", "install_robustness", "read_jsonl",
+    "validate_chrome_trace",
 ]
 
 

@@ -1,0 +1,301 @@
+"""Causal structure of a trace: happens-before graph + indexes.
+
+:class:`CausalTrace` digests a raw event stream (from a
+:class:`~repro.obs.tracer.MemorySink` or a JSONL file) into the
+indexes the critical-path walker and the exporters need:
+
+- every message's life cycle (``msg.send`` -> ``net.xmit`` ->
+  ``msg.recv``), keyed by message id, with the causal ``cause`` link
+  carried by handler-context sends;
+- per-processor scheduler wake-ups (``sched.wake``), each naming the
+  message whose arrival released the application;
+- per-processor compute spans and interval-seal costs;
+- per-worker finish times (from ``sim.process_done``).
+
+:meth:`CausalTrace.graph` materializes the happens-before DAG itself:
+program-order edges chain each processor's events, message edges join
+``msg.send`` to ``msg.recv``, and lock-handoff edges join a release to
+the grant that passes the token on.  The DAG is what makes "why was
+LH faster here" answerable causally; the walker in
+:mod:`repro.analysis.critical_path` consumes the indexes directly.
+"""
+
+from __future__ import annotations
+
+import re
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.obs.tracer import TraceEvent, read_jsonl
+
+_WORKER = re.compile(r"^worker-(\d+)$")
+
+
+@dataclass
+class MessageRecord:
+    """One message's reconstructed journey through the system."""
+
+    msg_id: int
+    src: int = -1
+    dst: int = -1
+    kind: str = ""
+    context: str = "app"
+    cause: Optional[int] = None
+    reply_to: Optional[int] = None
+    data_bytes: int = 0
+    send_ts: Optional[float] = None    # handed to the network stack
+    accept_ts: Optional[float] = None  # accepted by the medium model
+    recv_ts: Optional[float] = None    # delivered at the destination
+    wire: float = 0.0
+    waited: float = 0.0                # medium/port contention
+    backoff: float = 0.0               # Ethernet collision backoff
+
+
+@dataclass
+class WakeRecord:
+    """A blocked application process was released."""
+
+    ts: float
+    node: int
+    kind: str
+    cause: Optional[int]
+
+
+@dataclass
+class CausalGraph:
+    """Happens-before DAG over trace-event indexes.
+
+    ``edges[i]`` lists the indexes of events that directly
+    happen-after event ``i``; ``kind[(i, j)]`` says why
+    (``program``, ``message``, or ``lock``)."""
+
+    events: List[TraceEvent]
+    edges: Dict[int, List[int]] = field(default_factory=dict)
+    kinds: Dict[Tuple[int, int], str] = field(default_factory=dict)
+
+    def add_edge(self, src: int, dst: int, kind: str) -> None:
+        self.edges.setdefault(src, []).append(dst)
+        self.kinds[(src, dst)] = kind
+
+    def edge_count(self) -> int:
+        return sum(len(v) for v in self.edges.values())
+
+    def is_acyclic(self) -> bool:
+        """Kahn's algorithm; happens-before must never cycle."""
+        indeg = {i: 0 for i in range(len(self.events))}
+        for src, dsts in self.edges.items():
+            for dst in dsts:
+                indeg[dst] += 1
+        ready = [i for i, d in indeg.items() if d == 0]
+        seen = 0
+        while ready:
+            node = ready.pop()
+            seen += 1
+            for dst in self.edges.get(node, ()):
+                indeg[dst] -= 1
+                if indeg[dst] == 0:
+                    ready.append(dst)
+        return seen == len(self.events)
+
+
+def _event_proc(event: TraceEvent) -> Optional[int]:
+    """The processor an event belongs to (None for network/global)."""
+    fields = event.fields
+    node = fields.get("node")
+    if node is not None:
+        return node
+    name = event.name
+    if name == "msg.send":
+        return fields.get("src")
+    if name == "msg.recv":
+        return fields.get("dst")
+    return None
+
+
+class CausalTrace:
+    """Indexed view of one run's trace events."""
+
+    def __init__(self, events: Iterable[TraceEvent]) -> None:
+        self.events: List[TraceEvent] = list(events)
+        self.messages: Dict[int, MessageRecord] = {}
+        #: per-processor wake-ups, ascending by time
+        self.wakes: Dict[int, List[WakeRecord]] = {}
+        #: per-processor compute spans ``(started, end, cycles)``,
+        #: ascending by end time
+        self.computes: Dict[int, List[Tuple[float, float, float]]] = {}
+        #: per-processor interval-seal costs ``(ts, cost)``
+        self.seals: Dict[int, List[Tuple[float, float]]] = {}
+        #: worker finish times by processor
+        self.finish: Dict[int, float] = {}
+        self._index()
+
+    @classmethod
+    def from_jsonl(cls, path: str) -> "CausalTrace":
+        return cls(read_jsonl(path))
+
+    # -- indexing --------------------------------------------------------
+
+    def _message(self, msg_id: int) -> MessageRecord:
+        record = self.messages.get(msg_id)
+        if record is None:
+            record = MessageRecord(msg_id=msg_id)
+            self.messages[msg_id] = record
+        return record
+
+    def _index(self) -> None:
+        for event in self.events:
+            name = event.name
+            fields = event.fields
+            if name == "msg.send":
+                msg_id = fields.get("msg")
+                if msg_id is None:
+                    continue
+                record = self._message(msg_id)
+                record.src = fields.get("src", -1)
+                record.dst = fields.get("dst", -1)
+                record.kind = fields.get("kind", "")
+                record.context = fields.get("context", "app")
+                record.cause = fields.get("cause")
+                record.reply_to = fields.get("reply_to")
+                record.data_bytes = fields.get("data_bytes", 0)
+                if record.send_ts is None:
+                    record.send_ts = event.ts
+            elif name == "net.xmit":
+                msg_id = fields.get("msg")
+                if msg_id is None:
+                    continue
+                record = self._message(msg_id)
+                # Retransmissions re-enter the medium; the first
+                # acceptance is the causally meaningful one.
+                if record.accept_ts is None:
+                    record.accept_ts = event.ts
+                    record.wire = fields.get("wire", 0.0)
+                    record.waited = fields.get("waited", 0.0)
+                    record.backoff = fields.get("backoff", 0.0)
+            elif name == "msg.recv":
+                msg_id = fields.get("msg")
+                if msg_id is None:
+                    continue
+                record = self._message(msg_id)
+                if record.recv_ts is None:  # dups keep first delivery
+                    record.recv_ts = event.ts
+            elif name == "sched.wake":
+                node = fields.get("node")
+                if node is None:
+                    continue
+                self.wakes.setdefault(node, []).append(WakeRecord(
+                    ts=event.ts, node=node,
+                    kind=fields.get("kind", ""),
+                    cause=fields.get("cause")))
+            elif name == "cpu.compute":
+                node = fields.get("node")
+                started = fields.get("started")
+                cycles = fields.get("cycles", 0.0)
+                if node is None or started is None:
+                    continue
+                self.computes.setdefault(node, []).append(
+                    (started, event.ts, cycles))
+            elif name == "protocol.seal":
+                node = fields.get("node")
+                if node is None:
+                    continue
+                self.seals.setdefault(node, []).append(
+                    (event.ts, fields.get("cost", 0.0)))
+            elif name == "sim.process_done":
+                match = _WORKER.match(fields.get("process", ""))
+                if match:
+                    proc = int(match.group(1))
+                    self.finish[proc] = max(
+                        self.finish.get(proc, 0.0), event.ts)
+        for records in self.wakes.values():
+            records.sort(key=lambda w: w.ts)
+        for spans in self.computes.values():
+            spans.sort(key=lambda s: s[1])
+        for costs in self.seals.values():
+            costs.sort(key=lambda s: s[0])
+
+    # -- queries ---------------------------------------------------------
+
+    @property
+    def elapsed(self) -> float:
+        return max(self.finish.values()) if self.finish else 0.0
+
+    def last_finisher(self) -> Optional[int]:
+        if not self.finish:
+            return None
+        return max(self.finish, key=lambda p: (self.finish[p], p))
+
+    def latest_wake(self, node: int,
+                    before: float) -> Optional[WakeRecord]:
+        """Most recent wake on ``node`` at or before ``before``."""
+        records = self.wakes.get(node)
+        if not records:
+            return None
+        index = bisect_right([w.ts for w in records], before) - 1
+        return records[index] if index >= 0 else None
+
+    def compute_spans_in(self, node: int, lo: float,
+                         hi: float) -> List[Tuple[float, float, float]]:
+        """Compute spans on ``node`` whose *end* lies in ``(lo, hi]``.
+        Spans never cross a wake, so this captures exactly the
+        computation executed inside a local window."""
+        spans = self.computes.get(node)
+        if not spans:
+            return []
+        ends = [s[1] for s in spans]
+        start = bisect_right(ends, lo)
+        stop = bisect_right(ends, hi)
+        return spans[start:stop]
+
+    def seal_cost_in(self, node: int, lo: float, hi: float) -> float:
+        """Total interval-seal cost charged on ``node`` in
+        ``(lo, hi]``."""
+        costs = self.seals.get(node)
+        if not costs:
+            return 0.0
+        return sum(cost for ts, cost in costs if lo < ts <= hi)
+
+    # -- happens-before DAG ----------------------------------------------
+
+    def graph(self) -> CausalGraph:
+        """Materialize the happens-before DAG.
+
+        Edges: *program order* chains every processor's events in
+        time order (stable on the emission order for ties — emission
+        order is execution order within a timestamp); *message* edges
+        join each ``msg.send`` to its ``msg.recv``; *lock* edges join
+        each ``sync.lock_release``/``sync.lock_grant`` pair on the
+        granting node (the token handoff that orders the critical
+        sections)."""
+        graph = CausalGraph(self.events)
+        per_proc_last: Dict[int, int] = {}
+        sends: Dict[int, int] = {}
+        recvs: Dict[int, int] = {}
+        last_release: Dict[Tuple[int, int], int] = {}
+        for index, event in enumerate(self.events):
+            proc = _event_proc(event)
+            if proc is not None:
+                prev = per_proc_last.get(proc)
+                if prev is not None:
+                    graph.add_edge(prev, index, "program")
+                per_proc_last[proc] = index
+            name = event.name
+            fields = event.fields
+            if name == "msg.send" and "msg" in fields:
+                sends[fields["msg"]] = index
+            elif name == "msg.recv" and "msg" in fields:
+                recvs.setdefault(fields["msg"], index)
+            elif name == "sync.lock_release":
+                last_release[(fields.get("lock"),
+                              fields.get("node"))] = index
+            elif name == "sync.lock_grant":
+                release = last_release.get((fields.get("lock"),
+                                            fields.get("node")))
+                if release is not None and release != index:
+                    graph.add_edge(release, index, "lock")
+        for msg_id, send_index in sends.items():
+            recv_index = recvs.get(msg_id)
+            if recv_index is not None:
+                graph.add_edge(send_index, recv_index, "message")
+        return graph

@@ -149,7 +149,8 @@ class BaseProtocol:
         node.ins.notices_created.inc(len(record.pages))
         if node.tracer:
             node.tracer.emit("protocol.seal", node=node.proc,
-                             interval=index, pages=len(record.pages))
+                             interval=index, pages=len(record.pages),
+                             cost=cost, vc=list(node.vc.components))
         self.unpropagated[record.interval_id] = set(record.pages)
         return cost
 
@@ -192,6 +193,10 @@ class BaseProtocol:
         """Merge received interval records: log them and attach write
         notices to the affected page copies (or the orphan list)."""
         node = self.node
+        if node.tracer and records:
+            node.tracer.emit("protocol.notices_in", node=node.proc,
+                             records=len(records),
+                             pages=sum(len(r.pages) for r in records))
         get_copy = node.pagetable.copies.get
         copysets = node.copysets
         interval_log = node.interval_log
@@ -318,6 +323,10 @@ class BaseProtocol:
         copy.pending_notices = [n for n in copy.pending_notices
                                 if n.interval_id not in due_ids]
         copy.valid = True
+        if notices and self.node.tracer:
+            self.node.tracer.emit("protocol.diff_apply",
+                                  page=copy.page, node=self.node.proc,
+                                  diffs=len(notices))
         return True
 
     def invalidate_page(self, page: int) -> None:

@@ -70,6 +70,10 @@ class EagerBase(BaseProtocol):
         if copy is None:
             node.metrics.cold_misses += 1
             node.ins.cold_misses.inc()
+        if node.tracer:
+            node.tracer.emit("protocol.page_fault", page=page,
+                             node=node.proc, write=for_write,
+                             cold=copy is None)
         owner = node.page_owner(page)
         if owner == node.proc:
             raise ProtocolError(
@@ -112,6 +116,9 @@ class EagerBase(BaseProtocol):
         waited = node.sim.now - started
         node.metrics.miss_wait_cycles += waited
         node.ins.miss_wait.observe(waited)
+        if node.tracer:
+            node.tracer.emit("protocol.fault_done", page=page,
+                             node=node.proc, waited=waited)
 
     def _reapply_unpropagated(self, page: int, copy) -> None:
         node = self.node

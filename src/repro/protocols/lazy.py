@@ -57,10 +57,17 @@ class LazyBase(BaseProtocol):
         if copy is None:
             node.metrics.cold_misses += 1
             node.ins.cold_misses.inc()
+        if node.tracer:
+            node.tracer.emit("protocol.page_fault", page=page,
+                             node=node.proc, write=for_write,
+                             cold=copy is None)
         yield from self.lazy_miss(page)
         waited = node.sim.now - started
         node.metrics.miss_wait_cycles += waited
         node.ins.miss_wait.observe(waited)
+        if node.tracer:
+            node.tracer.emit("protocol.fault_done", page=page,
+                             node=node.proc, waited=waited)
 
     def fetch_pending(self, page: int) -> Generator:
         """Obtain and apply every pending diff for ``page`` (LU's

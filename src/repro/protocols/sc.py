@@ -107,6 +107,10 @@ class SequentialInvalidate(BaseProtocol):
         if node.pagetable.get(page) is None:
             node.metrics.cold_misses += 1
             node.ins.cold_misses.inc()
+        if node.tracer:
+            node.tracer.emit("protocol.page_fault", page=page,
+                             node=node.proc, write=for_write,
+                             cold=node.pagetable.get(page) is None)
         while True:
             manager = node.page_owner(page)
             if manager == node.proc:
@@ -130,6 +134,9 @@ class SequentialInvalidate(BaseProtocol):
         waited = node.sim.now - started
         node.metrics.miss_wait_cycles += waited
         node.ins.miss_wait.observe(waited)
+        if node.tracer:
+            node.tracer.emit("protocol.fault_done", page=page,
+                             node=node.proc, waited=waited)
 
     def record_write(self, page: int, start: int, end: int) -> None:
         if self._local_mode(page) != WRITE:
@@ -384,4 +391,8 @@ class SequentialInvalidate(BaseProtocol):
         self.mode[page] = WRITE if payload["write"] else READ
         done = self._fault_done.get(page)
         if done is not None and not done.triggered:
+            if node.tracer:
+                node.tracer.emit("sched.wake", node=node.proc,
+                                 kind="sc_grant",
+                                 cause=message.msg_id, page=page)
             done.succeed()

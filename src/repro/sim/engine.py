@@ -40,6 +40,9 @@ class Process(Event):
         super().__init__(sim, name=name or getattr(generator, "__name__",
                                                    "process"))
         self.generator = generator
+        tracer = sim.tracer
+        if tracer is not None and tracer.sink.enabled:
+            tracer.emit("sim.process_spawn", process=self.name)
         sim.schedule(0.0, self._resume, None)
 
     def _resume(self, waited: Optional[Event]) -> None:
@@ -47,6 +50,9 @@ class Process(Event):
         try:
             target = self.generator.send(value)
         except StopIteration as stop:
+            tracer = self.sim.tracer
+            if tracer is not None and tracer.sink.enabled:
+                tracer.emit("sim.process_done", process=self.name)
             self.succeed(stop.value)
             return
         if isinstance(target, Event):
@@ -85,9 +91,12 @@ class Simulator:
         self.processed_events = 0
         # Observability (optional): bound registry *children* (one
         # attribute access + one addition per flush), attached by the
-        # machine via attach_obs().
+        # machine via attach_obs().  The tracer reference only feeds
+        # the rare spawn/finish events — the dispatch loops never
+        # touch it.
         self._obs_events = None
         self._obs_queue_depth = None
+        self.tracer = None
 
     def attach_obs(self, obs) -> None:
         """Emit event-dispatch and queue-depth metrics to ``obs``.
@@ -96,6 +105,7 @@ class Simulator:
             "sim.events_dispatched_total").labels()
         self._obs_queue_depth = obs.registry.get(
             "sim.queue_depth_peak").labels()
+        self.tracer = obs.tracer
 
     # -- scheduling ------------------------------------------------------
 

@@ -66,6 +66,10 @@ class BarrierManager:
 
         master = node.machine.barrier_master(barrier_id)
         key = (barrier_id, episode)
+        if node.tracer:
+            node.tracer.emit("sync.barrier_arrive", barrier=barrier_id,
+                             episode=episode, node=node.proc,
+                             master=master)
         if master == node.proc:
             state = self._master_state(key)
             state.arrived[node.proc] = payload
@@ -74,6 +78,10 @@ class BarrierManager:
                 yield state.all_arrived
             departures = node.protocol.master_combine(state.arrived)
             del self._master[key]
+            if node.tracer:
+                node.tracer.emit("sync.barrier_depart",
+                                 barrier=barrier_id, episode=episode,
+                                 node=node.proc)
             for proc in range(nprocs):
                 if proc == node.proc:
                     continue
@@ -142,6 +150,11 @@ class BarrierManager:
             state.arrived[payload["proc"]] = payload["payload"]
             if (len(state.arrived) == node.config.nprocs
                     and state.all_arrived is not None):
+                if node.tracer:
+                    node.tracer.emit("sched.wake", node=node.proc,
+                                     kind="barrier_all_arrived",
+                                     cause=message.msg_id,
+                                     barrier=payload["barrier"])
                 state.all_arrived.succeed()
         elif message.kind == MsgKind.BARRIER_DEPART:
             event = self._departures.get(key)
@@ -149,6 +162,12 @@ class BarrierManager:
                 raise SimulationError(
                     f"proc {self.node.proc} got unexpected departure "
                     f"for {key}")
+            if self.node.tracer:
+                self.node.tracer.emit("sched.wake",
+                                      node=self.node.proc,
+                                      kind="barrier_depart",
+                                      cause=message.msg_id,
+                                      barrier=payload["barrier"])
             event.succeed(payload["payload"])
         else:  # pragma: no cover - dispatch guarantees
             raise SimulationError(f"barrier manager got {message}")

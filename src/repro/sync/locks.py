@@ -109,6 +109,9 @@ class LockManager:
             return
         state.waiting = self.sim.event(f"lock-{lock_id}-grant")
         if self.broadcast:
+            if node.tracer:
+                node.tracer.emit("sync.lock_request", lock=lock_id,
+                                 node=node.proc, target=None)
             yield from self._broadcast_request(lock_id, state)
             yield from self._finish_acquire(node, state)
             return
@@ -118,11 +121,17 @@ class LockManager:
             # request straight down the chain.
             target = state.probable_tail
             state.probable_tail = node.proc
+            if node.tracer:
+                node.tracer.emit("sync.lock_request", lock=lock_id,
+                                 node=node.proc, target=target)
             yield from node.app_send(Message(
                 src=node.proc, dst=target, kind=MsgKind.LOCK_FWD,
                 payload={"lock": lock_id, "requester": node.proc,
                          "vc": node.vc}))
         else:
+            if node.tracer:
+                node.tracer.emit("sync.lock_request", lock=lock_id,
+                                 node=node.proc, target=owner)
             yield from node.app_send(Message(
                 src=node.proc, dst=owner, kind=MsgKind.LOCK_REQ,
                 payload={"lock": lock_id, "requester": node.proc,
@@ -188,9 +197,15 @@ class LockManager:
         if not state.held:
             raise SimulationError(
                 f"proc {node.proc} releasing unheld lock {lock_id}")
+        if node.tracer:
+            node.tracer.emit("sync.lock_release", lock=lock_id,
+                             node=node.proc)
         if state.local_waiters:
             # Intra-node handoff: the lock stays held by this node and
             # no consistency information needs to move (same memory).
+            if node.tracer:
+                node.tracer.emit("sync.lock_handoff", lock=lock_id,
+                                 node=node.proc)
             state.local_waiters.pop(0).succeed()
             return
         yield from node.protocol.on_release()
@@ -209,6 +224,9 @@ class LockManager:
             requester, requester_vc, lock_id=lock_id)
         state.has_token = False
         state.last_granted_to = requester
+        if self.node.tracer:
+            self.node.tracer.emit("sync.lock_grant", lock=lock_id,
+                                  node=self.node.proc, to=requester)
         yield from self.node.app_send(Message(
             src=self.node.proc, dst=requester, kind=MsgKind.LOCK_GRANT,
             payload={"lock": lock_id, "payload": payload,
@@ -225,7 +243,7 @@ class LockManager:
         elif kind == MsgKind.LOCK_FWD:
             self._handle_forward(payload)
         elif kind == MsgKind.LOCK_GRANT:
-            self._handle_grant(payload)
+            self._handle_grant(message)
         else:  # pragma: no cover - dispatch guarantees
             raise SimulationError(f"lock manager got {message}")
 
@@ -303,15 +321,24 @@ class LockManager:
             requester, requester_vc, lock_id=lock_id)
         state.has_token = False
         state.last_granted_to = requester
+        if node.tracer:
+            node.tracer.emit("sync.lock_grant", lock=lock_id,
+                             node=node.proc, to=requester)
         node.handler_send(Message(
             src=node.proc, dst=requester, kind=MsgKind.LOCK_GRANT,
             payload={"lock": lock_id, "payload": payload, "queue": []},
             data_bytes=data_bytes))
 
-    def _handle_grant(self, payload: dict) -> None:
+    def _handle_grant(self, message: Message) -> None:
+        payload = message.payload
         state = self._state(payload["lock"])
         if state.waiting is None:
             raise SimulationError(
                 f"proc {self.node.proc} got unsolicited grant of lock "
                 f"{payload['lock']}")
+        if self.node.tracer:
+            self.node.tracer.emit("sched.wake", node=self.node.proc,
+                                  kind="lock_grant",
+                                  cause=message.msg_id,
+                                  lock=payload["lock"])
         state.waiting.succeed(payload)

@@ -1,0 +1,139 @@
+"""Critical-path reconciliation and the Chrome trace export.
+
+The headline invariant: the walker attributes contiguous,
+non-overlapping spans, so its category totals sum exactly to the
+elapsed time — checked here against the metrics registry's
+simulated-time totals for every application x protocol x network
+combination (the acceptance gate is 1%; the walk is in fact exact up
+to float rounding).
+"""
+
+import pytest
+
+from repro.analysis.contention import (contention_report,
+                                       format_contention)
+from repro.analysis.critical_path import (CATEGORIES, critical_path)
+from repro.analysis.experiments import APP_PARAMS
+from repro.apps import APP_NAMES, create_app
+from repro.core.config import MachineConfig, NetworkConfig
+from repro.core.runner import run_app
+from repro.obs import (CausalTrace, MemorySink, Observability, Tracer,
+                       chrome_trace, validate_chrome_trace)
+from repro.protocols import PROTOCOL_NAMES
+
+NETWORKS = {
+    "atm": NetworkConfig.atm,
+    "ethernet": NetworkConfig.ethernet,
+}
+
+
+def traced(app, protocol, network, nprocs=4):
+    sink = MemorySink()
+    obs = Observability(tracer=Tracer(sink))
+    result = run_app(
+        create_app(app, **APP_PARAMS["small"][app]),
+        MachineConfig(nprocs=nprocs, network=NETWORKS[network]()),
+        protocol=protocol, obs=obs)
+    return CausalTrace(sink.events), result
+
+
+@pytest.mark.parametrize("network", sorted(NETWORKS))
+@pytest.mark.parametrize("app", APP_NAMES)
+def test_critical_path_reconciles_every_protocol(app, network):
+    """4 apps x 5 protocols x 2 networks: categories must sum to the
+    registry's elapsed simulated time within 1%."""
+    for protocol in PROTOCOL_NAMES:
+        trace, result = traced(app, protocol, network)
+        path = critical_path(trace)
+        label = f"{app}/{protocol}/{network}"
+        assert path.total == pytest.approx(trace.elapsed,
+                                           rel=1e-9), label
+        assert path.total == pytest.approx(result.elapsed_cycles,
+                                           rel=0.01), label
+        assert set(path.categories) == set(CATEGORIES)
+        assert all(v >= 0 for v in path.categories.values()), label
+        assert path.categories["compute"] > 0, label
+        assert 0 < path.steps < 100_000, label
+
+
+def test_segments_tile_the_elapsed_time():
+    trace, _ = traced("jacobi", "li", "atm")
+    path = critical_path(trace, keep_segments=True)
+    assert path.segments
+    # Newest-first, contiguous, non-overlapping, covering (0, elapsed].
+    spans = [s for s in path.segments if s.t1 > s.t0]
+    assert spans[0].t1 == pytest.approx(trace.elapsed)
+    for newer, older in zip(spans, spans[1:]):
+        assert newer.t0 == pytest.approx(older.t1)
+    assert spans[-1].t0 == pytest.approx(0.0, abs=1e-9)
+    total = sum(s.t1 - s.t0 for s in spans)
+    assert total == pytest.approx(trace.elapsed, rel=1e-9)
+
+
+def test_ethernet_backoff_shows_up_as_contention():
+    """The collision story: on the Ethernet the same run pays far
+    more contention-stall on its critical path than on the ATM."""
+    atm_trace, _ = traced("jacobi", "lh", "atm")
+    eth_trace, _ = traced("jacobi", "lh", "ethernet")
+    atm = critical_path(atm_trace).categories["contention"]
+    eth = critical_path(eth_trace).categories["contention"]
+    assert eth > atm
+
+
+def test_empty_trace_degrades_gracefully():
+    path = critical_path(CausalTrace([]))
+    assert path.total == 0.0
+    assert path.start_proc is None
+    assert path.steps == 0
+
+
+# -- Chrome trace-event export -----------------------------------------
+
+
+def test_chrome_trace_validates_with_flow_events():
+    trace, _ = traced("water", "lh", "atm")
+    exported = chrome_trace(trace)
+    assert validate_chrome_trace(exported) == []
+    events = exported["traceEvents"]
+    phases = {e["ph"] for e in events}
+    assert {"M", "X", "s", "f"} <= phases
+    starts = [e for e in events if e["ph"] == "s"]
+    finishes = {e["id"] for e in events if e["ph"] == "f"}
+    assert starts
+    assert {e["id"] for e in starts} == finishes
+    # Every flow id is a traced message delivered somewhere.
+    for start in starts:
+        assert start["id"] in trace.messages
+
+
+def test_chrome_trace_is_json_serializable():
+    import json
+
+    trace, _ = traced("jacobi", "li", "atm")
+    text = json.dumps(chrome_trace(trace))
+    assert validate_chrome_trace(json.loads(text)) == []
+
+
+def test_validator_flags_broken_traces():
+    assert validate_chrome_trace([]) != []
+    assert validate_chrome_trace({"traceEvents": [{"ph": "Q"}]}) != []
+    dangling = {"traceEvents": [
+        {"ph": "s", "pid": 1, "tid": 0, "ts": 0, "cat": "msg",
+         "id": 1, "name": "flow"}]}
+    assert any("flow" in error
+               for error in validate_chrome_trace(dangling))
+
+
+# -- contention profiles -----------------------------------------------
+
+
+def test_contention_report_counts_locks_pages_links():
+    trace, _ = traced("water", "lh", "atm")
+    report = contention_report(trace)
+    assert report.locks                   # per-molecule locks
+    assert report.pages                   # page misses
+    assert report.links                   # every traced message
+    messages = sum(p.messages for p in report.links.values())
+    assert messages == len(trace.messages)
+    text = format_contention(report, top=5)
+    assert "hot locks" in text and "hot links" in text

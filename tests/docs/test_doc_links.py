@@ -3,8 +3,10 @@ fully documented.
 
 Every relative markdown link in docs/*.md, README.md, and DESIGN.md
 must point at a file that exists (anchors are stripped; external
-http(s)/mailto links are skipped), and docs/observability.md must
-mention every metric registered by the repro.obs catalog.
+http(s)/mailto links are skipped), docs/observability.md must mention
+every metric registered by the repro.obs catalog *and* every trace
+event in ``TRACE_EVENTS``, and every literal ``tracer.emit("...")``
+in the source must use a catalogued event name.
 """
 
 import re
@@ -62,3 +64,42 @@ def test_observability_doc_catalogues_every_metric():
     assert not undocumented, (
         "metrics missing from docs/observability.md: "
         f"{undocumented}")
+
+
+def test_observability_doc_tables_every_trace_event():
+    """The event-name table must row every ``TRACE_EVENTS`` entry
+    (as backticked code, i.e. an actual table row, not a mention)."""
+    from repro.obs import TRACE_EVENTS
+
+    text = (REPO_ROOT / "docs" / "observability.md").read_text()
+    undocumented = [name for name in TRACE_EVENTS
+                    if f"`{name}`" not in text]
+    assert not undocumented, (
+        "trace events missing from docs/observability.md: "
+        f"{undocumented}")
+
+
+#: ``tracer.emit("name", ...)`` with a literal event name.  Dynamic
+#: names (Span's ``<name>.begin``/``<name>.end``) are intentionally
+#: outside the vocabulary and don't match.
+EMIT_RE = re.compile(r'tracer\.emit\(\s*"([^"]+)"')
+
+
+def test_every_emitted_event_name_is_catalogued():
+    from repro.obs import TRACE_EVENTS
+
+    sources = sorted((REPO_ROOT / "src" / "repro").rglob("*.py"))
+    assert sources, "source glob matched nothing"
+    unknown = {}
+    emitted = set()
+    for path in sources:
+        for name in EMIT_RE.findall(path.read_text()):
+            emitted.add(name)
+            if name not in TRACE_EVENTS:
+                unknown.setdefault(
+                    str(path.relative_to(REPO_ROOT)), []).append(name)
+    assert not unknown, (
+        f"emit sites using uncatalogued event names: {unknown}")
+    # ... and the vocabulary carries no dead entries either.
+    dead = sorted(set(TRACE_EVENTS) - emitted)
+    assert not dead, f"TRACE_EVENTS entries never emitted: {dead}"

@@ -1,0 +1,110 @@
+"""Tracing under the experiment harness: per-spec sink files under
+pool fan-out (no shared sinks, no corrupt lines), cache interaction,
+and mid-run tracer toggling at the engine level."""
+
+import json
+
+import pytest
+
+from repro.core.config import MachineConfig, NetworkConfig
+from repro.lab import Lab, RunSpec
+from repro.obs import (CausalTrace, MemorySink, NullSink,
+                       Observability, Tracer, read_jsonl)
+
+JACOBI = {"n": 16, "iterations": 2}
+
+
+def specs(protocols=("lh", "li", "lu", "ei")):
+    return [RunSpec("jacobi", JACOBI, protocol=protocol,
+                    config=MachineConfig(
+                        nprocs=4, network=NetworkConfig.atm()))
+            for protocol in protocols]
+
+
+def _check_traces(trace_dir, run_specs, results):
+    files = {path.name: path for path in trace_dir.glob("*.jsonl")}
+    assert len(files) == len(run_specs)
+    for spec, result in zip(run_specs, results):
+        name = (f"{spec.app}-{spec.protocol}-"
+                f"{spec.fingerprint()[:12]}.jsonl")
+        assert name in files, f"missing trace {name}"
+        # Every line is one complete JSON object (no interleaving,
+        # no truncation), and the trace reconciles with the result.
+        lines = files[name].read_text().splitlines()
+        assert lines
+        for line in lines:
+            record = json.loads(line)
+            assert "ts" in record and "name" in record
+        trace = CausalTrace(read_jsonl(str(files[name])))
+        assert trace.elapsed == pytest.approx(result.elapsed_cycles,
+                                              rel=0.01)
+
+
+def test_pool_fanout_writes_one_valid_trace_per_spec(tmp_path):
+    run_specs = specs()
+    with Lab(jobs=2, cache=False,
+             trace_dir=str(tmp_path / "traces")) as lab:
+        results = lab.run_many(run_specs)
+    _check_traces(tmp_path / "traces", run_specs, results)
+
+
+def test_serial_path_traces_identically(tmp_path):
+    run_specs = specs()
+    with Lab(cache=False, trace_dir=str(tmp_path / "traces")) as lab:
+        results = lab.run_many(run_specs)
+    _check_traces(tmp_path / "traces", run_specs, results)
+
+
+def test_cache_hits_produce_no_trace(tmp_path):
+    spec = specs(("lh",))[0]
+    cache_dir = str(tmp_path / "cache")
+    with Lab(cache_dir=cache_dir) as lab:
+        lab.run(spec)  # populate, untraced
+    trace_dir = tmp_path / "traces"
+    with Lab(cache_dir=cache_dir,
+             trace_dir=str(trace_dir)) as lab:
+        lab.run(spec)  # disk hit: executes nothing, traces nothing
+        assert lab.stats()["cache_hits_disk"] == 1
+    assert list(trace_dir.glob("*.jsonl")) == []
+
+
+def test_trace_dir_does_not_change_fingerprints(tmp_path):
+    spec = specs(("lh",))[0]
+    with Lab(cache=False,
+             trace_dir=str(tmp_path / "traces")) as traced_lab:
+        traced = traced_lab.run(spec)
+    with Lab(cache=False) as plain_lab:
+        plain = plain_lab.run(spec)
+    # Tracing observes the run without perturbing it.
+    assert traced.elapsed_cycles == plain.elapsed_cycles
+    assert traced.total_messages == plain.total_messages
+    assert traced.registry.dump() == plain.registry.dump()
+
+
+def test_tracer_toggles_mid_simulation():
+    """Swapping the sink mid-run flips every emission site at once:
+    events recorded only while the MemorySink was attached."""
+    from repro.sim.engine import Simulator
+
+    sim = Simulator()
+    obs = Observability(tracer=Tracer())  # starts disabled
+    sim.attach_obs(obs)
+    obs.bind_clock(lambda: sim.now)
+
+    def worker():
+        yield 10.0
+        yield 10.0
+
+    sim.spawn(worker(), name="worker-0")   # spawn while disabled
+    sim.run(until=5.0)
+    sink = MemorySink()
+    obs.tracer.sink = sink                 # enable mid-run
+    sim.spawn(worker(), name="worker-1")
+    sim.run(until=15.0)
+    obs.tracer.sink = NullSink()           # disable again
+    sim.run()
+    names = [(e.name, e.fields.get("process")) for e in sink.events]
+    # worker-1's spawn and nothing after the second toggle.
+    assert ("sim.process_spawn", "worker-1") in names
+    assert ("sim.process_spawn", "worker-0") not in names
+    assert all(name != "sim.process_done" for name, _ in names)

@@ -63,6 +63,86 @@ def test_jsonl_round_trip_through_file(tmp_path):
                                  fields={"y": "two"})]
 
 
+def test_jsonable_serializes_containers_recursively():
+    buffer = io.StringIO()
+    tracer = Tracer(JsonlSink(buffer), clock=lambda: 0.0)
+    tracer.emit("protocol.seal", vc=[1, (2, 3)],
+                copyset={2, 1, 0},
+                by_kind={MsgKind.PAGE_REQ: [1, {"n": (4,)}]},
+                who=frozenset(["b", "a"]))
+    tracer.close()
+    record = json.loads(buffer.getvalue())
+    assert record["vc"] == [1, [2, 3]]
+    assert record["copyset"] == [0, 1, 2]   # sets sort for determinism
+    assert record["by_kind"] == {           # dict keys stringify
+        str(MsgKind.PAGE_REQ): [1, {"n": [4]}]}
+    assert record["who"] == ["a", "b"]
+
+
+def test_jsonl_sink_buffers_and_flushes_on_close(tmp_path):
+    path = str(tmp_path / "buffered.jsonl")
+    sink = JsonlSink(path, buffer_lines=100)
+    tracer = Tracer(sink, clock=lambda: 2.0)
+    for index in range(7):
+        tracer.emit("msg.send", msg=index)
+    # Under the buffer threshold: nothing has reached the file yet.
+    assert open(path).read() == ""
+    sink.flush()
+    assert len(open(path).read().splitlines()) == 7
+    tracer.emit("msg.send", msg=7)
+    tracer.close()  # flush-on-close picks up the straggler
+    lines = open(path).read().splitlines()
+    assert [json.loads(line)["msg"] for line in lines] == list(range(8))
+
+
+def test_jsonl_sink_flushes_at_buffer_threshold(tmp_path):
+    path = str(tmp_path / "threshold.jsonl")
+    sink = JsonlSink(path, buffer_lines=3)
+    tracer = Tracer(sink, clock=lambda: 0.0)
+    tracer.emit("a")
+    tracer.emit("b")
+    assert open(path).read() == ""
+    tracer.emit("c")  # third line trips the buffer
+    assert len(open(path).read().splitlines()) == 3
+    sink.close()
+
+
+def test_jsonl_sink_is_a_context_manager(tmp_path):
+    path = str(tmp_path / "ctx.jsonl")
+    with JsonlSink(path, buffer_lines=100) as sink:
+        Tracer(sink, clock=lambda: 1.0).emit("a", x=1)
+    events = list(read_jsonl(path))
+    assert events == [TraceEvent(ts=1.0, name="a", fields={"x": 1})]
+
+
+def test_jsonl_sink_writes_gzip_transparently(tmp_path):
+    path = str(tmp_path / "trace.jsonl.gz")
+    with JsonlSink(path) as sink:
+        tracer = Tracer(sink, clock=lambda: 3.0)
+        tracer.emit("msg.send", msg=1)
+        tracer.emit("msg.recv", msg=1)
+    raw = open(path, "rb").read()
+    assert raw[:2] == b"\x1f\x8b"  # gzip magic: actually compressed
+    events = list(read_jsonl(path))
+    assert [e.name for e in events] == ["msg.send", "msg.recv"]
+
+
+def test_sink_swap_toggles_every_emission_site_mid_run():
+    """``if tracer:`` reads ``sink.enabled`` live, so swapping the
+    sink mid-run enables/disables all instrumentation at once."""
+    tracer = Tracer()  # disabled
+    assert not tracer
+    tracer.emit("msg.send", msg=0)
+    sink = MemorySink()
+    tracer.sink = sink  # enable mid-run
+    assert tracer
+    tracer.emit("msg.send", msg=1)
+    tracer.sink = NullSink()  # disable again
+    assert not tracer
+    tracer.emit("msg.send", msg=2)
+    assert [e.fields["msg"] for e in sink.events] == [1]
+
+
 # -- spans -------------------------------------------------------------
 
 def test_span_observes_histogram_and_emits_begin_end():
