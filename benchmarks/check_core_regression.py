@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""CI gate: fail when the core benchmark regresses against the
+committed record.
+
+Compares the freshly-measured ``BENCH_core.json`` (written by
+``benchmarks/test_perf_core.py``; the records themselves are
+gitignored) with the committed baseline record
+``benchmarks/core_baseline.json``.  Fails when:
+
+- the fresh run was not byte-identical to the golden dump, or
+- ``events_per_second`` dropped more than ``--threshold`` (default
+  10%) below the committed rate.
+
+The absolute rate does not transfer across hosts
+(docs/performance.md), so a cross-host comparison is noisy by
+construction; the 10% threshold plus the harness's best-of-N sampling
+absorbs normal jitter while still catching real hot-path regressions.
+Pass ``--baseline`` to compare against a different record (e.g. a
+previous CI artifact from the same runner class).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = (Path(__file__).resolve().parent
+                    / "core_baseline.json")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--record", default="BENCH_core.json",
+                        help="freshly-measured record (default: "
+                             "BENCH_core.json)")
+    parser.add_argument("--baseline", default=str(DEFAULT_BASELINE),
+                        help="committed baseline record (default: "
+                             "benchmarks/core_baseline.json)")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="max allowed fractional drop in "
+                             "events_per_second (default 0.10)")
+    args = parser.parse_args(argv)
+
+    fresh = json.loads(Path(args.record).read_text())
+    baseline = json.loads(Path(args.baseline).read_text())
+
+    if not fresh.get("byte_identical"):
+        print("FAIL: fresh benchmark run was not byte-identical to "
+              "the golden dump")
+        return 1
+
+    fresh_rate = fresh["events_per_second"]
+    base_rate = baseline["events_per_second"]
+    change = fresh_rate / base_rate - 1.0
+    print(f"core benchmark: {fresh_rate:,.0f} events/s vs committed "
+          f"{base_rate:,.0f} ({change:+.1%}, threshold "
+          f"-{args.threshold:.0%})")
+    if change < -args.threshold:
+        print("FAIL: events_per_second regressed beyond the "
+              "threshold")
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

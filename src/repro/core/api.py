@@ -46,16 +46,43 @@ class DsmApi:
         # would return without yielding (true for every protocol's
         # read side), so skip the generator machinery entirely.
         hit_ok = protocol.valid_copy_serves_reads
-        out = np.empty(end - start, dtype=np.float64)
-        cursor = 0
-        for page, lo, hi in segment.page_ranges(start, end):
+        # Single-page read (the common case for word and row
+        # accesses): inline page arithmetic, one numpy slice copy, no
+        # staging buffer.  The guard re-states page_ranges' bounds
+        # check; anything it rejects falls through to the general path
+        # (which raises the canonical IndexError).
+        count = end - start
+        if count <= 0 or start < 0 or end > segment.nwords:
+            # Degenerate or bad range: page_ranges raises the canonical
+            # IndexError for bad bounds and yields nothing when empty.
+            for _ in segment.page_ranges(start, end):
+                pass
+            return np.empty(0, dtype=np.float64)
+        wpp = segment.words_per_page
+        page, lo = divmod(segment.base_word + start, wpp)
+        hi = lo + count
+        if hi <= wpp:
             copy = get_copy(page)
             if copy is None or not copy.valid or not hit_ok:
                 yield from protocol.ensure_valid(page, for_write=False)
                 copy = get_copy(page)
-            out[cursor:cursor + (hi - lo)] = copy.values[lo:hi]
-            cursor += hi - lo
-        return out
+            return copy.values[lo:hi].copy()
+        out = np.empty(count, dtype=np.float64)
+        cursor = 0
+        hi = wpp
+        while True:
+            copy = get_copy(page)
+            if copy is None or not copy.valid or not hit_ok:
+                yield from protocol.ensure_valid(page, for_write=False)
+                copy = get_copy(page)
+            chunk = hi - lo
+            out[cursor:cursor + chunk] = copy.values[lo:hi]
+            cursor += chunk
+            if cursor == count:
+                return out
+            page += 1
+            lo = 0
+            hi = min(wpp, count - cursor)
 
     def write_region(self, segment: Segment, start: int, end: int,
                      values: Union[np.ndarray, Sequence[float], float]
@@ -73,15 +100,38 @@ class DsmApi:
                 raise ValueError(
                     f"write of {len(values)} values into "
                     f"[{start},{end})")
-        cursor = 0
-        for page, lo, hi in segment.page_ranges(start, end):
+        count = end - start
+        if count <= 0 or start < 0 or end > segment.nwords:
+            for _ in segment.page_ranges(start, end):
+                pass
+            return
+        wpp = segment.words_per_page
+        page, lo = divmod(segment.base_word + start, wpp)
+        hi = lo + count
+        if hi <= wpp:
             copy = get_copy(page)
             if copy is None or not copy.valid or not hit_ok:
                 yield from protocol.ensure_valid(page, for_write=True)
                 copy = get_copy(page)
-            copy.values[lo:hi] = values[cursor:cursor + (hi - lo)]
+            copy.values[lo:hi] = values
             protocol.record_write(page, lo, hi)
-            cursor += hi - lo
+            return
+        cursor = 0
+        hi = wpp
+        while True:
+            copy = get_copy(page)
+            if copy is None or not copy.valid or not hit_ok:
+                yield from protocol.ensure_valid(page, for_write=True)
+                copy = get_copy(page)
+            chunk = hi - lo
+            copy.values[lo:hi] = values[cursor:cursor + chunk]
+            protocol.record_write(page, lo, hi)
+            cursor += chunk
+            if cursor == count:
+                return
+            page += 1
+            lo = 0
+            hi = min(wpp, count - cursor)
 
     def read(self, segment: Segment, index: int) -> Generator:
         """Read a single word."""

@@ -14,6 +14,7 @@ from repro.net import build_network
 from repro.net.message import Message
 from repro.obs import Observability
 from repro.sim.engine import SimulationError, Simulator
+from repro.sim.events import Event
 
 
 class Machine:
@@ -88,6 +89,10 @@ class Machine:
         self._finished: List[Optional[float]] = [None] * config.nprocs
         self._app_results: List[object] = [None] * config.nprocs
         self._unfinished = config.nprocs
+        # Completion flag for run(): replaced per run; run_until reads
+        # its .triggered attribute instead of calling a stop predicate
+        # once per dispatched event.
+        self._done: Optional[Event] = None
 
     # -- address space ------------------------------------------------------
 
@@ -225,7 +230,8 @@ class Machine:
                 self.sim.spawn(
                     self._wrap_worker(proc, worker_factory(proc)),
                     name=f"worker-{proc}")
-        self.sim.run_all(stop=self._all_finished, max_events=max_events)
+        self._done = self.sim.event("all-workers-done")
+        self.sim.run_until(self._done, max_events=max_events)
         if not self._all_finished():
             unfinished = [i for i, t in enumerate(self._finished)
                           if t is None]
@@ -256,6 +262,8 @@ class Machine:
         result = yield from worker
         if self._finished[proc] is None:
             self._unfinished -= 1
+            if self._unfinished == 0 and self._done is not None:
+                self._done.succeed()
         self._finished[proc] = self.sim.now
         self._app_results[proc] = result
 

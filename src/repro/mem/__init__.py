@@ -7,9 +7,13 @@ from repro.mem.intervals import (DiffStore, IntervalLog, IntervalRecord,
                                  WriteNotice)
 from repro.mem.pages import PageCopy, PageTable
 from repro.mem.timestamps import VectorClock
+from repro.mem.wire import (WIRE_VERSION, WireFormatError, accounted_size,
+                            decode_diff, encode_diff, encoded_size)
 
 __all__ = [
     "AddressSpace", "CopysetTable", "Diff", "DiffStore", "IntervalLog",
     "IntervalRecord", "PageCopy", "PageTable", "Segment", "VectorClock",
-    "WriteNotice", "normalize_ranges", "ranges_word_count",
+    "WIRE_VERSION", "WireFormatError", "WriteNotice", "accounted_size",
+    "decode_diff", "encode_diff", "encoded_size", "normalize_ranges",
+    "ranges_word_count",
 ]

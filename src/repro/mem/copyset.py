@@ -6,11 +6,28 @@ are seeded from the owner on page transfer and refreshed by write
 notices and diff requests; the eager protocols compensate with extra
 flush rounds, and the hybrid uses them as a heuristic for which diffs to
 piggyback on lock grants.
+
+Representation (docs/memory.md): one int bitmask per page — bit ``p``
+set means "processor ``p`` caches this page".  Membership tests and
+inserts are single bit ops, and the whole table is a flat
+``page -> int`` dict.  The set-returning accessors (:meth:`get`,
+:meth:`others`) materialize frozensets for callers that iterate.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Set
+from typing import Dict, FrozenSet, Iterable
+
+
+def _mask_to_set(mask: int) -> FrozenSet[int]:
+    procs = []
+    proc = 0
+    while mask:
+        if mask & 1:
+            procs.append(proc)
+        mask >>= 1
+        proc += 1
+    return frozenset(procs)
 
 
 class CopysetTable:
@@ -18,28 +35,34 @@ class CopysetTable:
 
     def __init__(self, self_proc: int) -> None:
         self.self_proc = self_proc
-        self._copysets: Dict[int, Set[int]] = {}
+        self._self_bit = 1 << self_proc
+        self._masks: Dict[int, int] = {}
 
     def get(self, page: int) -> FrozenSet[int]:
-        return frozenset(self._copysets.get(page, ()))
+        return _mask_to_set(self._masks.get(page, 0))
 
     def others(self, page: int) -> FrozenSet[int]:
-        return frozenset(p for p in self._copysets.get(page, ())
-                         if p != self.self_proc)
+        return _mask_to_set(self._masks.get(page, 0) & ~self._self_bit)
 
     def add(self, page: int, proc: int) -> None:
-        self._copysets.setdefault(page, set()).add(proc)
+        self._masks[page] = self._masks.get(page, 0) | (1 << proc)
 
     def add_many(self, page: int, procs: Iterable[int]) -> None:
-        self._copysets.setdefault(page, set()).update(procs)
+        mask = self._masks.get(page, 0)
+        for proc in procs:
+            mask |= 1 << proc
+        self._masks[page] = mask
 
     def remove(self, page: int, proc: int) -> None:
-        copyset = self._copysets.get(page)
-        if copyset is not None:
-            copyset.discard(proc)
+        mask = self._masks.get(page)
+        if mask is not None:
+            self._masks[page] = mask & ~(1 << proc)
 
     def replace(self, page: int, procs: Iterable[int]) -> None:
-        self._copysets[page] = set(procs)
+        mask = 0
+        for proc in procs:
+            mask |= 1 << proc
+        self._masks[page] = mask
 
     def believes_cached(self, page: int, proc: int) -> bool:
-        return proc in self._copysets.get(page, ())
+        return bool(self._masks.get(page, 0) & (1 << proc))

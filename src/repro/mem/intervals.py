@@ -86,9 +86,15 @@ class IntervalLog:
                                        List[IntervalRecord]]] = {}
 
     def add(self, record: IntervalRecord) -> None:
+        self.add_if_new(record)
+
+    def add_if_new(self, record: IntervalRecord) -> bool:
+        """Add ``record`` unless already known; returns True if added.
+        Single-lookup variant for the incorporate hot path (which
+        otherwise pays a ``in`` check plus ``add``'s own)."""
         interval_id = record.interval_id
         if interval_id in self._records:
-            return
+            return False
         self._records[interval_id] = record
         indices, records = self._by_proc.setdefault(record.proc,
                                                     ([], []))
@@ -99,6 +105,7 @@ class IntervalLog:
             position = bisect_left(indices, record.index)
             indices.insert(position, record.index)
             records.insert(position, record)
+        return True
 
     def get(self, interval_id: IntervalId) -> Optional[IntervalRecord]:
         return self._records.get(interval_id)

@@ -1,9 +1,18 @@
-"""Per-node page copies.
+"""Per-node page copies on a flat buffer substrate.
 
 Each node holds, for every shared page it caches, a :class:`PageCopy`
 with real word values (so applications compute on genuine data through
 the DSM), the word ranges written in the current interval, and the set
 of write notices received but not yet reflected in the copy.
+
+Representation (docs/memory.md): a page's words live in one contiguous
+``bytearray`` (``buffer``, 8 host bytes per word).  Three views share
+that storage with zero copies — ``raw`` (a memoryview, the byte-level
+splice target for diff create/apply and page installs) and ``values``
+(a float64 numpy view, what applications and the API read and write
+through).  A *twin* is a frozen ``bytes`` snapshot of the buffer;
+:meth:`twin_dirty_ranges` finds the modified runs with one vectorized
+compare over the flat words.
 """
 
 from __future__ import annotations
@@ -13,6 +22,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.mem import instrument
 from repro.mem.intervals import WriteNotice
 from repro.mem.timestamps import VectorClock
 
@@ -27,23 +37,25 @@ class PageCopy:
     :meth:`add_notice` deduplicates in O(1) instead of scanning.
     """
 
-    __slots__ = ("page", "words", "values", "valid", "written",
-                 "_pending_notices", "_pending_ids", "vc", "applied",
-                 "due_cache")
+    __slots__ = ("page", "words", "buffer", "raw", "values", "twin",
+                 "valid", "written", "_pending_notices", "_pending_ids",
+                 "vc", "applied", "due_cache")
 
     def __init__(self, page: int, words: int,
-                 values: Optional[np.ndarray] = None,
+                 values=None,
                  valid: bool = True,
                  vc: Optional[VectorClock] = None) -> None:
         self.page = page
         self.words = words
-        if values is None:
-            self.values = np.zeros(words, dtype=np.float64)
-        else:
-            if len(values) != words:
-                raise ValueError("page value size mismatch")
-            self.values = np.array(values, dtype=np.float64)
+        self.buffer = bytearray(words * 8)
+        self.raw = memoryview(self.buffer)
+        self.values = np.frombuffer(self.buffer, dtype=np.float64)
+        if values is not None:
+            self.set_values(values)
         self.valid = valid
+        # Frozen buffer snapshot for twin-based diffing (None unless
+        # the protocol runs with diff_source="twin").
+        self.twin: Optional[bytes] = None
         # Word ranges written during the current (unsealed) interval;
         # always sorted and pairwise disjoint (record_write merges).
         self.written: List[Tuple[int, int]] = []
@@ -60,6 +72,74 @@ class PageCopy:
         # page is reflected in ``values`` (coverage map).
         self.applied: Dict[int, int] = {}
 
+    # -- flat-buffer plumbing --------------------------------------------
+
+    def set_values(self, values) -> None:
+        """Overwrite the whole page.  ``values`` is a ``bytes`` /
+        ``bytearray`` snapshot (one memcpy) or a float64 sequence."""
+        if isinstance(values, (bytes, bytearray, memoryview)):
+            if len(values) != len(self.buffer):
+                raise ValueError("page snapshot size mismatch")
+            self.buffer[:] = values
+        else:
+            if len(values) != self.words:
+                raise ValueError("page value size mismatch")
+            self.values[:] = values
+
+    def snapshot(self) -> bytes:
+        """Immutable copy of the page contents (what PAGE_REPLY and
+        the SC/eager page transfers put on the wire)."""
+        return bytes(self.buffer)
+
+    # -- twins ------------------------------------------------------------
+
+    def make_twin(self) -> None:
+        """Freeze the current contents as the interval's twin (no-op
+        if a twin already exists — the twin must keep the values from
+        the interval's start)."""
+        if self.twin is None:
+            self.twin = bytes(self.buffer)
+            ins = instrument.active
+            if ins is not None:
+                ins.twin_snapshots.inc()
+
+    def drop_twin(self) -> None:
+        self.twin = None
+
+    def twin_dirty_ranges(self) -> List[Tuple[int, int]]:
+        """Word ranges whose value differs from the twin, as a sorted
+        disjoint run list — one vectorized compare over the flat
+        buffer (this is how the mprotect-based systems the paper
+        models create diffs: compare the twin with the modified page
+        word by word)."""
+        if self.twin is None:
+            return []
+        changed = np.frombuffer(self.twin, dtype=np.float64) \
+            != self.values
+        # Bitwise compare, not value compare: NaN words must count as
+        # modified when their bit pattern changed.
+        if not changed.any():
+            nan_mask = np.isnan(self.values)
+            if nan_mask.any():
+                changed = np.frombuffer(self.twin, dtype=np.int64) \
+                    != self.values.view(np.int64)
+            if not changed.any():
+                return []
+        elif np.isnan(self.values).any() or np.isnan(
+                np.frombuffer(self.twin, dtype=np.float64)).any():
+            changed = np.frombuffer(self.twin, dtype=np.int64) \
+                != self.values.view(np.int64)
+        indices = np.flatnonzero(changed)
+        if len(indices) == 0:
+            return []
+        breaks = np.flatnonzero(np.diff(indices) > 1)
+        starts = np.concatenate(([0], breaks + 1))
+        ends = np.concatenate((breaks, [len(indices) - 1]))
+        return [(int(indices[a]), int(indices[b]) + 1)
+                for a, b in zip(starts, ends)]
+
+    # -- interval write tracking ------------------------------------------
+
     @property
     def pending_notices(self) -> List[WriteNotice]:
         return self._pending_notices
@@ -70,6 +150,14 @@ class PageCopy:
         # refetch); keep the dedup id set in lockstep.
         self._pending_notices = notices
         self._pending_ids = {(n.proc, n.index) for n in notices}
+
+    def remove_notices(self, interval_ids) -> None:
+        """Drop the given (proc, index) ids from the pending list,
+        preserving order.  Cheaper than reassigning
+        ``pending_notices`` (which rebuilds the whole dedup set)."""
+        self._pending_notices = [n for n in self._pending_notices
+                                 if n.interval_id not in interval_ids]
+        self._pending_ids.difference_update(interval_ids)
 
     @property
     def dirty(self) -> bool:
@@ -137,7 +225,7 @@ class PageCopy:
             raise ValueError("invalid notice")
         if self.is_applied(notice.proc, notice.index):
             return False
-        interval_id = (notice.proc, notice.index)
+        interval_id = notice.interval_id
         if interval_id in self._pending_ids:
             return False
         self._pending_ids.add(interval_id)
@@ -176,7 +264,7 @@ class PageTable:
         copy = self.copies.get(page)
         return copy is not None and copy.valid
 
-    def install(self, page: int, values: Optional[np.ndarray] = None,
+    def install(self, page: int, values=None,
                 valid: bool = True) -> PageCopy:
         copy = self.copies.get(page)
         if copy is None:
@@ -185,8 +273,11 @@ class PageTable:
             self.copies[page] = copy
         else:
             if values is not None:
-                copy.values[:] = values
+                copy.set_values(values)
             copy.valid = valid
+        ins = instrument.active
+        if ins is not None:
+            ins.page_installs.inc()
         return copy
 
     def invalidate(self, page: int) -> None:

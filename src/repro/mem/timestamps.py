@@ -53,9 +53,17 @@ class VectorClock:
         theirs = other.components
         if len(mine) != len(theirs):
             self._check(other)
-        if mine == theirs:
+        combined = tuple(map(max, mine, theirs))
+        # Identity-preserving: when one side already dominates, return
+        # that clock instead of an equal new one.  Downstream memos key
+        # on clock object identity (PageCopy.due_cache), so keeping the
+        # object stable turns value-equal merges into cache hits — and
+        # the ``_total`` memo survives with it.
+        if combined == mine:
             return self
-        return VectorClock._of(tuple(map(max, mine, theirs)))
+        if combined == theirs:
+            return other
+        return VectorClock._of(combined)
 
     def dominates(self, other: "VectorClock") -> bool:
         """True iff self >= other componentwise."""

@@ -50,18 +50,22 @@ class NetworkStats:
         }
 
     def record(self, message: Message, wire: float, waited: float) -> None:
+        size = message.size_bytes
+        data = message.data_bytes
         self.messages += 1
-        self.bytes_sent += message.size_bytes
-        self.data_bytes_sent += message.data_bytes
+        self.bytes_sent += size
+        self.data_bytes_sent += data
         self.busy_cycles += wire
         self.contention_cycles += waited
         obs = self._obs
         if obs is not None:
-            obs["messages"].inc()
-            obs["wire_bytes"].inc(message.size_bytes)
-            obs["data_bytes"].inc(message.data_bytes)
-            obs["wire_cycles"].inc(wire)
-            obs["contention"].inc(waited)
+            # Counter children are plain .value cells; skip the inc()
+            # call per field on this once-per-message path.
+            obs["messages"].value += 1
+            obs["wire_bytes"].value += size
+            obs["data_bytes"].value += data
+            obs["wire_cycles"].value += wire
+            obs["contention"].value += waited
             obs["wire_hist"].observe(wire)
 
 
@@ -86,6 +90,11 @@ class Network(ABC):
         self.config = config
         self.stats = NetworkStats()
         self.latency_cycles = config.us_to_cycles(config.network.latency_us)
+        # Wire-time constants pre-fetched: wire_cycles runs once per
+        # transmission; the inlined expression keeps the exact
+        # operation order of MachineConfig.wire_cycles.
+        self._wire_bps = config.network.bandwidth_bps
+        self._cycles_per_second = config.cycles_per_second
         self._deliver: Optional[Callable[[Message], None]] = None
         self.faults = None
         self._tracer = None
@@ -106,7 +115,8 @@ class Network(ABC):
         self._tracer = obs.tracer
 
     def wire_cycles(self, message: Message) -> float:
-        return self.config.wire_cycles(message.size_bytes)
+        return (message.size_bytes * 8.0 / self._wire_bps
+                * self._cycles_per_second)
 
     def transmit(self, message: Message) -> float:
         """Accept a message now; schedule delivery.  Returns the

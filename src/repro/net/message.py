@@ -49,7 +49,7 @@ class MsgKind(Enum):
                         MsgKind.BARRIER_DEPART)
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """One point-to-point protocol message."""
 
@@ -61,16 +61,17 @@ class Message:
     lazy: bool = False   # lazy protocols pay doubled per-byte overhead
     msg_id: int = field(default_factory=lambda: next(_message_ids))
     reply_to: Optional[int] = None  # correlating request msg_id
+    # Wire length (header + data), fixed at construction.  A plain
+    # attribute: it is read several times per hop (overhead model,
+    # network serialization, two metrics mirrors).
+    size_bytes: int = field(init=False, default=0)
 
     def __post_init__(self) -> None:
         if self.src == self.dst:
             raise ValueError(f"message to self: proc {self.src}")
         if self.data_bytes < 0:
             raise ValueError("negative data_bytes")
-
-    @property
-    def size_bytes(self) -> int:
-        return MESSAGE_HEADER_BYTES + self.data_bytes
+        self.size_bytes = MESSAGE_HEADER_BYTES + self.data_bytes
 
     def __repr__(self) -> str:
         return (f"<Msg #{self.msg_id} {self.kind.value} "

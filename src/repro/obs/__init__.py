@@ -14,9 +14,10 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from repro.obs.catalog import (CATALOG, CATALOG_BY_NAME, LAB_CATALOG,
-                               ROBUSTNESS_CATALOG, MetricSpec,
-                               SYNC_MSG_TYPES, install_catalog,
-                               install_lab, install_robustness)
+                               MEM_CATALOG, ROBUSTNESS_CATALOG,
+                               MetricSpec, SYNC_MSG_TYPES,
+                               install_catalog, install_lab,
+                               install_mem, install_robustness)
 from repro.obs.registry import (DEFAULT_BUCKETS, Metric, MetricError,
                                 MetricsRegistry)
 from repro.obs.causal import CausalGraph, CausalTrace
@@ -29,12 +30,13 @@ from repro.obs.tracer import (TRACE_EVENTS, JsonlSink, MemorySink,
 __all__ = [
     "CATALOG", "CATALOG_BY_NAME", "CausalGraph", "CausalTrace",
     "DEFAULT_BUCKETS", "JsonlSink",
-    "LAB_CATALOG", "MemorySink", "Metric", "MetricError", "MetricSpec",
+    "LAB_CATALOG", "MEM_CATALOG", "MemorySink", "Metric",
+    "MetricError", "MetricSpec",
     "MetricsRegistry", "NodeInstruments", "NullSink", "Observability",
     "ROBUSTNESS_CATALOG", "SYNC_MSG_TYPES", "Span", "TRACE_EVENTS",
     "TraceEvent",
     "TraceSink", "Tracer", "chrome_trace", "install_catalog",
-    "install_lab", "install_robustness", "read_jsonl",
+    "install_lab", "install_mem", "install_robustness", "read_jsonl",
     "validate_chrome_trace",
 ]
 
@@ -95,9 +97,12 @@ class NodeInstruments:
             child = self.messages.labels(node=self.node_label,
                                          msg_type=kind)
             self._msg_children[kind] = child
-        child.inc()
-        self.data_bytes.inc(message.data_bytes)
-        self.wire_bytes.inc(message.size_bytes)
+        # Counter children are bare .value cells; this runs twice per
+        # message (send + its NodeMetrics mirror), so skip the inc()
+        # call frame per field.
+        child.value += 1
+        self.data_bytes.value += message.data_bytes
+        self.wire_bytes.value += message.size_bytes
 
 
 class Observability:

@@ -13,7 +13,8 @@ monotonic counter; histograms and gauges drop the suffix.  Layers:
 - ``net``  — the wire (Ethernet / ATM / ideal),
 - ``dsm``  — per-node protocol activity (misses, diffs, notices),
 - ``sync`` — locks and barriers,
-- ``cpu``  — where processor cycles went.
+- ``cpu``  — where processor cycles went,
+- ``mem``  — the memory substrate (opt-in, see :data:`MEM_CATALOG`).
 """
 
 from __future__ import annotations
@@ -232,9 +233,38 @@ LAB_CATALOG: Tuple[MetricSpec, ...] = (
           consumers=("BENCH_lab",)),
 )
 
+#: Metrics of the memory substrate (:mod:`repro.mem`, see
+#: docs/memory.md).  Opt-in like the robustness catalogue: the mem
+#: layer is pure data structures with no registry reference, so these
+#: are installed (and emission switched on) only via
+#: :func:`repro.mem.instrument.enable` — a default run's stats dump is
+#: bit-for-bit unchanged.
+MEM_CATALOG: Tuple[MetricSpec, ...] = (
+    _spec("mem.diffs_encoded_total", COUNTER, "diffs",
+          "Diffs serialized to the canonical RDIF wire format."),
+    _spec("mem.diffs_decoded_total", COUNTER, "diffs",
+          "RDIF blobs parsed (and validated) back into diffs."),
+    _spec("mem.diff_runs", HISTOGRAM, "runs",
+          "Run-table length of each encoded diff (1 = a single "
+          "contiguous dirty range).",
+          consumers=("write-amplification accounting",)),
+    _spec("mem.diff_encoded_bytes", HISTOGRAM, "bytes",
+          "Host length of each encoded RDIF blob (16-byte header + "
+          "run table + float64 payload)."),
+    _spec("mem.diff_accounted_bytes", HISTOGRAM, "bytes",
+          "Simulated wire cost (Diff.size_bytes) of each encoded "
+          "diff: 8 bytes per run + word_size bytes per word.",
+          consumers=("write-amplification accounting",)),
+    _spec("mem.twin_snapshots_total", COUNTER, "twins",
+          "Page twins frozen (full-buffer bytes snapshots)."),
+    _spec("mem.page_installs_total", COUNTER, "pages",
+          "Page copies created or refreshed in a node's page table."),
+)
+
 CATALOG_BY_NAME: Dict[str, MetricSpec] = {
     spec.name: spec
-    for spec in CATALOG + ROBUSTNESS_CATALOG + LAB_CATALOG}
+    for spec in CATALOG + ROBUSTNESS_CATALOG + LAB_CATALOG
+    + MEM_CATALOG}
 
 #: ``dsm.messages_total`` msg_type label values that count as
 #: synchronization traffic (mirrors ``MsgKind.is_synchronization``).
@@ -262,3 +292,24 @@ def install_lab(registry) -> None:
     registry."""
     for spec in LAB_CATALOG:
         registry.from_spec(spec)
+
+
+#: Bucket bounds for the mem histograms: diffs are small discrete
+#: objects (runs, bytes), so the cycle-scaled default buckets would
+#: dump everything into the first bucket.
+MEM_RUN_BUCKETS: Tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64)
+MEM_BYTE_BUCKETS: Tuple[float, ...] = (
+    64, 256, 1024, 4096, 16384, 65536)
+
+
+def install_mem(registry) -> None:
+    """Instantiate the memory-substrate metrics.  Called by
+    :func:`repro.mem.instrument.enable`, never by default — see the
+    :data:`MEM_CATALOG` note."""
+    for spec in MEM_CATALOG:
+        if spec.kind == HISTOGRAM:
+            buckets = (MEM_RUN_BUCKETS if spec.unit == "runs"
+                       else MEM_BYTE_BUCKETS)
+            registry.from_spec(spec, buckets=buckets)
+        else:
+            registry.from_spec(spec)

@@ -10,6 +10,7 @@ automatically; ad-hoc metrics supply their own description/unit/labels.
 from __future__ import annotations
 
 import json
+from bisect import bisect_left
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.obs.catalog import (CATALOG_BY_NAME, COUNTER, GAUGE,
@@ -72,11 +73,10 @@ class _HistogramChild:
             self.min = value
         if self.max is None or value > self.max:
             self.max = value
-        for i, bound in enumerate(self.bounds):
-            if value <= bound:
-                self.buckets[i] += 1
-                return
-        self.buckets[-1] += 1
+        # First bucket with bound >= value — bisect_left on the sorted
+        # bounds is the C-speed equivalent of the linear <= scan (the
+        # overflow bucket is buckets[len(bounds)]).
+        self.buckets[bisect_left(self.bounds, value)] += 1
 
     def snapshot(self) -> dict:
         return {"count": self.count, "sum": self.sum,

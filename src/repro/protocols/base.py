@@ -75,10 +75,11 @@ class BaseProtocol:
         # DSM without run-length encoding (data volume only; the
         # multiple-writer merge still needs the word-level content).
         self.price_diffs_as_pages = False
-        # Notices for pages we hold no copy of (merged in at install),
-        # with a parallel per-page interval-id set for O(1) dedup.
-        self.orphan_notices: Dict[int, List[WriteNotice]] = {}
-        self._orphan_ids: Dict[int, Set[IntervalId]] = {}
+        # Notices for pages we hold no copy of (merged in at install):
+        # page -> {interval id: notice}.  One dict doubles as ordered
+        # list (insertion order) and O(1) dedup set.
+        self.orphan_notices: Dict[int, Dict[IntervalId,
+                                            WriteNotice]] = {}
         # Own intervals that modified each page (indices, ascending).
         self.own_page_intervals: Dict[int, List[int]] = {}
         # Own modifications not yet flushed/pushed to other cachers:
@@ -111,8 +112,7 @@ class BaseProtocol:
         and log the interval.  Returns the cycle cost to charge."""
         node = self.node
         dirty = [(page, copy)
-                 for page in node.pagetable.pages()
-                 for copy in (node.pagetable.get(page),)
+                 for page, copy in sorted(node.pagetable.copies.items())
                  if copy.dirty]
         if not dirty:
             return 0.0
@@ -127,26 +127,32 @@ class BaseProtocol:
         index = node.vc[node.proc]
         pending_ranges: Dict[int, List[Tuple[int, int]]] = {}
         cost = 0.0
+        per_diff_cost = node.diff_creation_cost()
+        word_size = node.config.word_size
+        words_created = 0
         for page, copy in dirty:
             ranges = copy.take_written_ranges()
             pending_ranges[page] = ranges
             # record_write keeps the ranges normalized incrementally.
-            diff = Diff.from_ranges(page, copy.values, ranges,
-                                    word_size=node.config.word_size,
+            # One byte-slice per run off the copy's flat buffer.
+            diff = Diff.from_ranges(page, copy, ranges,
+                                    word_size=word_size,
                                     assume_normalized=True)
             node.diff_store.put(node.proc, index, diff)
             copy.mark_applied(node.proc, index)
             self.own_page_intervals.setdefault(page, []).append(index)
-            node.metrics.diffs_created += 1
-            node.metrics.diff_words_created += diff.word_count
-            node.ins.diffs_created.inc()
-            node.ins.diff_words.inc(diff.word_count)
-            cost += node.diff_creation_cost()
+            words_created += diff.word_count
+            cost += per_diff_cost
+        created = len(dirty)
+        node.metrics.diffs_created += created
+        node.metrics.diff_words_created += words_created
+        node.ins.diffs_created.value += created
+        node.ins.diff_words.value += words_created
         record = IntervalRecord(proc=node.proc, index=index, vc=node.vc,
                                 pages=frozenset(pending_ranges),
                                 pending_ranges=pending_ranges)
         node.interval_log.add(record)
-        node.ins.notices_created.inc(len(record.pages))
+        node.ins.notices_created.value += len(record.pages)
         if node.tracer:
             node.tracer.emit("protocol.seal", node=node.proc,
                              interval=index, pages=len(record.pages),
@@ -200,29 +206,48 @@ class BaseProtocol:
         get_copy = node.pagetable.copies.get
         copysets = node.copysets
         interval_log = node.interval_log
+        orphans = self.orphan_notices
+        notices_received = node.ins.notices_received
+        me = node.proc
+        # A processor's clock is non-decreasing across its intervals,
+        # so its highest-index record's vector time dominates the rest
+        # — one observe_peer_vc merge per source proc replaces one per
+        # record.
+        latest: Dict[int, IntervalRecord] = {}
         for record in records:
             proc = record.proc
-            if proc == node.proc:
+            if proc == me:
                 continue
-            if record.interval_id in interval_log:
+            if not interval_log.add_if_new(record):
                 continue
-            interval_log.add(record)
-            node.ins.notices_received.inc(len(record.pages))
+            notices_received.value += len(record.pages)
             for notice in record.notices():
-                copy = get_copy(notice.page)
+                page = notice.page
+                copy = get_copy(page)
                 if copy is None:
-                    self._add_orphan(notice)
+                    # _add_orphan, inlined (hot: every notice for an
+                    # uncached page lands here).
+                    bucket = orphans.get(page)
+                    if bucket is None:
+                        bucket = orphans[page] = {}
+                    interval_id = notice.interval_id
+                    if interval_id not in bucket:
+                        bucket[interval_id] = notice
+                        copysets.add(page, proc)
                 elif copy.add_notice(notice):
-                    copysets.add(notice.page, proc)
+                    copysets.add(page, proc)
+            current = latest.get(proc)
+            if current is None or record.index > current.index:
+                latest[proc] = record
+        for proc, record in latest.items():
             node.observe_peer_vc(proc, record.vc)
 
     def _add_orphan(self, notice: WriteNotice) -> None:
-        interval_id = (notice.proc, notice.index)
-        ids = self._orphan_ids.setdefault(notice.page, set())
-        if interval_id in ids:
+        bucket = self.orphan_notices.setdefault(notice.page, {})
+        interval_id = notice.interval_id
+        if interval_id in bucket:
             return
-        ids.add(interval_id)
-        self.orphan_notices.setdefault(notice.page, []).append(notice)
+        bucket[interval_id] = notice
         self.node.copysets.add(notice.page, notice.proc)
 
     def store_diffs(self,
@@ -230,7 +255,7 @@ class BaseProtocol:
         for (proc, index), diff in diffs:
             self.node.diff_store.put(proc, index, diff)
             self.node.metrics.diffs_applied += 1
-            self.node.ins.diffs_applied.inc()
+            self.node.ins.diffs_applied.value += 1
 
     # ------------------------------------------------------------------
     # applying pending modifications
@@ -317,11 +342,9 @@ class BaseProtocol:
         for notice in notices:
             diff = self.node.diff_store.get(notice.proc, notice.index,
                                             copy.page)
-            diff.apply(copy.values)
+            diff.apply(copy)
             copy.mark_applied(notice.proc, notice.index)
-        due_ids = {n.interval_id for n in due}
-        copy.pending_notices = [n for n in copy.pending_notices
-                                if n.interval_id not in due_ids]
+        copy.remove_notices({n.interval_id for n in due})
         copy.valid = True
         if notices and self.node.tracer:
             self.node.tracer.emit("protocol.diff_apply",
@@ -330,7 +353,7 @@ class BaseProtocol:
         return True
 
     def invalidate_page(self, page: int) -> None:
-        copy = self.node.pagetable.get(page)
+        copy = self.node.pagetable.copies.get(page)
         if copy is None:
             return
         if copy.dirty:
@@ -340,7 +363,7 @@ class BaseProtocol:
         if copy.valid:
             copy.valid = False
             self.node.metrics.invalidations += 1
-            self.node.ins.invalidations.inc()
+            self.node.ins.invalidations.value += 1
 
     # ------------------------------------------------------------------
     # lazy access-miss machinery (shared by LI, LU, LH)
@@ -411,7 +434,7 @@ class BaseProtocol:
         escalated: Set[Tuple[int, int]] = set()
         writer_requested: Set[Tuple[int, int]] = set()
         while True:
-            copy = node.pagetable.get(page)
+            copy = node.pagetable.copies.get(page)
             if copy is not None and copy.valid:
                 return
             if copy is not None and self.apply_pending(copy):
@@ -423,12 +446,14 @@ class BaseProtocol:
             else:
                 mine = node.vc.components
                 pending = []
-                for n in self.orphan_notices.get(page, ()):
-                    for a, b in zip(mine, n.vc.components):
-                        if a < b:
-                            break
-                    else:
-                        pending.append(n)
+                bucket = self.orphan_notices.get(page)
+                if bucket:
+                    for n in bucket.values():
+                        for a, b in zip(mine, n.vc.components):
+                            if a < b:
+                                break
+                        else:
+                            pending.append(n)
             wanted = [n for n in pending
                       if n.proc != node.proc
                       and not node.diff_store.has(n.proc, n.index, page)]
@@ -522,11 +547,12 @@ class BaseProtocol:
         copy.applied = dict(payload["applied"])
         copy.pending_notices = []
         node.metrics.page_transfers += 1
-        node.ins.page_transfers.inc()
+        node.ins.page_transfers.value += 1
         # Merge notices parked while we had no copy.
-        self._orphan_ids.pop(page, None)
-        for notice in self.orphan_notices.pop(page, ()):  # type: ignore
-            copy.add_notice(notice)
+        parked = self.orphan_notices.pop(page, None)
+        if parked:
+            for notice in parked.values():
+                copy.add_notice(notice)
         # Our own sealed intervals the source did not cover must be
         # re-applied on top (their diffs are local).
         for index in self.own_page_intervals.get(page, ()):
@@ -544,7 +570,7 @@ class BaseProtocol:
         + our pending notices + any requested diffs."""
         node = self.node
         page = message.payload["page"]
-        copy = node.pagetable.get(page)
+        copy = node.pagetable.copies.get(page)
         if copy is None:
             raise ProtocolError(
                 f"node {node.proc} asked for page {page} it never "
@@ -556,7 +582,7 @@ class BaseProtocol:
             src=node.proc, dst=message.src, kind=MsgKind.PAGE_REPLY,
             reply_to=message.msg_id,
             payload={"page": page,
-                     "values": copy.values.copy(),
+                     "values": copy.snapshot(),
                      "applied": dict(copy.applied),
                      "records": records,
                      "diffs": diffs,
@@ -653,14 +679,14 @@ class BaseProtocol:
             for diff in diffs:
                 node.diff_store.put(record.proc, record.index, diff)
                 node.metrics.diffs_applied += 1
-                node.ins.diffs_applied.inc()
+                node.ins.diffs_applied.value += 1
                 if not node.pagetable.has_copy(diff.page):
                     not_cached.append(diff.page)
         touched = {diff.page
                    for _record, diffs in message.payload["bundle"]
                    for diff in diffs}
         for page in touched:
-            copy = node.pagetable.get(page)
+            copy = node.pagetable.copies.get(page)
             if copy is not None and not copy.dirty:
                 self.apply_pending(copy)
         if message.payload["ack"]:
@@ -700,15 +726,13 @@ class BaseProtocol:
             dropped = node.interval_log.prune_dominated(vc)
             node.diff_store.prune_intervals(dropped)
             for page in list(self.orphan_notices):
-                kept = [n for n in self.orphan_notices[page]
-                        if not vc.dominates(n.vc)]
+                kept = {iid: n
+                        for iid, n in self.orphan_notices[page].items()
+                        if not vc.dominates(n.vc)}
                 if kept:
                     self.orphan_notices[page] = kept
-                    self._orphan_ids[page] = {(n.proc, n.index)
-                                              for n in kept}
                 else:
                     del self.orphan_notices[page]
-                    self._orphan_ids.pop(page, None)
             dropped_set = set(dropped)
             for page in list(self.own_page_intervals):
                 kept_idx = [i for i in self.own_page_intervals[page]
@@ -734,7 +758,7 @@ class BaseProtocol:
         raise NotImplementedError
 
     def record_write(self, page: int, start: int, end: int) -> None:
-        copy = self.node.pagetable.get(page)
+        copy = self.node.pagetable.copies.get(page)
         if copy is None or not copy.valid:
             raise ProtocolError(
                 f"write to invalid page {page} on node "

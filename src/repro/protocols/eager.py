@@ -57,19 +57,19 @@ class EagerBase(BaseProtocol):
 
     def ensure_valid(self, page: int, for_write: bool) -> Generator:
         node = self.node
-        copy = node.pagetable.get(page)
+        copy = node.pagetable.copies.get(page)
         if copy is not None and copy.valid:
             return
         started = node.sim.now
         if for_write:
             node.metrics.write_misses += 1
-            node.ins.write_misses.inc()
+            node.ins.write_misses.value += 1
         else:
             node.metrics.read_misses += 1
-            node.ins.read_misses.inc()
+            node.ins.read_misses.value += 1
         if copy is None:
             node.metrics.cold_misses += 1
-            node.ins.cold_misses.inc()
+            node.ins.cold_misses.value += 1
         if node.tracer:
             node.tracer.emit("protocol.page_fault", page=page,
                              node=node.proc, write=for_write,
@@ -90,7 +90,7 @@ class EagerBase(BaseProtocol):
             fresh.applied = dict(reply.payload["applied"])
             fresh.pending_notices = []
             node.metrics.page_transfers += 1
-            node.ins.page_transfers.inc()
+            node.ins.page_transfers.value += 1
             node.copysets.add_many(page, reply.payload["copyset"])
             node.copysets.add(page, node.proc)
             # Our own not-yet-flushed modifications are not at the home
@@ -103,7 +103,7 @@ class EagerBase(BaseProtocol):
                 if fresh.is_applied(record.proc, record.index):
                     continue
                 if diff is not None:
-                    diff.apply(fresh.values)
+                    diff.apply(fresh)
                     fresh.mark_applied(record.proc, record.index)
                 else:
                     unmet.append((record, diff))
@@ -126,7 +126,7 @@ class EagerBase(BaseProtocol):
             interval_id = (node.proc, index)
             if page in self.unpropagated.get(interval_id, ()):
                 diff = self._require_diff(node.proc, index, page)
-                diff.apply(copy.values)
+                diff.apply(copy)
                 copy.mark_applied(node.proc, index)
 
     def _serve_eager_page_request(self, message: Message) -> None:
@@ -134,7 +134,7 @@ class EagerBase(BaseProtocol):
         node = self.node
         page = message.payload["page"]
         requester = message.payload["requester"]
-        copy = node.pagetable.get(page)
+        copy = node.pagetable.copies.get(page)
         if copy is None or not copy.valid:
             raise ProtocolError(
                 f"home {node.proc} cannot serve page {page}: copy "
@@ -143,7 +143,7 @@ class EagerBase(BaseProtocol):
         node.handler_send(Message(
             src=node.proc, dst=requester, kind=MsgKind.PAGE_REPLY,
             reply_to=message.msg_id,
-            payload={"page": page, "values": copy.values.copy(),
+            payload={"page": page, "values": copy.snapshot(),
                      "applied": dict(copy.applied),
                      "copyset": set(node.copysets.get(page))},
             data_bytes=node.config.page_size))
@@ -256,8 +256,8 @@ class EagerBase(BaseProtocol):
         not_cached: List[int] = []
         invalidating = sorted({page for _r, page, diff in entries
                                if diff is None})
-        if any(node.pagetable.get(page) is not None
-               and node.pagetable.get(page).dirty
+        if any(node.pagetable.copies.get(page) is not None
+               and node.pagetable.copies.get(page).dirty
                for page in invalidating):
             # Local concurrent modifications survive as sealed diffs
             # and reach the home at our own next release.
@@ -266,7 +266,7 @@ class EagerBase(BaseProtocol):
             self.incorporate_records([record])
             copysets[page] = set(node.copysets.get(page))
             node.copysets.add(page, message.src)
-            copy = node.pagetable.get(page)
+            copy = node.pagetable.copies.get(page)
             in_flight = page in self._miss_in_flight
             if in_flight:
                 # Reconciled after the racing fetch installs.
@@ -280,7 +280,7 @@ class EagerBase(BaseProtocol):
                         "arrived at a "
                         f"{'missing' if copy is None else 'stale'} copy")
                 # EU update, or EI home merge: apply in place.
-                diff.apply(copy.values)
+                diff.apply(copy)
                 copy.mark_applied(record.proc, record.index)
                 node.diff_store.put(record.proc, record.index, diff)
                 node.metrics.diffs_applied += 1
@@ -353,7 +353,7 @@ class EagerInvalidate(EagerBase):
             if node.page_owner(page) == node.proc:
                 continue  # the home copy holds the merge: keep it
             others = procs - {node.proc}
-            copy = node.pagetable.get(page)
+            copy = node.pagetable.copies.get(page)
             if others and copy is not None and copy.valid \
                     and not copy.dirty:
                 self.invalidate_page(page)

@@ -44,19 +44,19 @@ class LazyBase(BaseProtocol):
 
     def ensure_valid(self, page: int, for_write: bool) -> Generator:
         node = self.node
-        copy = node.pagetable.get(page)
+        copy = node.pagetable.copies.get(page)
         if copy is not None and copy.valid:
             return
         started = node.sim.now
         if for_write:
             node.metrics.write_misses += 1
-            node.ins.write_misses.inc()
+            node.ins.write_misses.value += 1
         else:
             node.metrics.read_misses += 1
-            node.ins.read_misses.inc()
+            node.ins.read_misses.value += 1
         if copy is None:
             node.metrics.cold_misses += 1
-            node.ins.cold_misses.inc()
+            node.ins.cold_misses.value += 1
         if node.tracer:
             node.tracer.emit("protocol.page_fault", page=page,
                              node=node.proc, write=for_write,
@@ -76,7 +76,7 @@ class LazyBase(BaseProtocol):
         escalated = set()
         writer_requested = set()
         while True:
-            copy = node.pagetable.get(page)
+            copy = node.pagetable.copies.get(page)
             if copy is None or not self.due_notices(copy):
                 return
             if self.apply_pending(copy):
@@ -183,7 +183,7 @@ class LazyBase(BaseProtocol):
         the whole page table is current with the latest barrier."""
         node = self.node
         for page in node.pagetable.pages():
-            copy = node.pagetable.get(page)
+            copy = node.pagetable.copies.get(page)
             if copy is None:
                 continue
             if self.due_notices(copy):
@@ -199,7 +199,7 @@ class LazyBase(BaseProtocol):
     def _seal_if_any_dirty(self, pages: List[int]) -> Generator:
         node = self.node
         for page in pages:
-            copy = node.pagetable.get(page)
+            copy = node.pagetable.copies.get(page)
             if copy is not None and copy.dirty:
                 yield from self.seal_from_app()
                 return
@@ -216,7 +216,7 @@ class LazyInvalidate(LazyBase):
         node = self.node
         yield from self._seal_if_any_dirty(pages)
         for page in pages:
-            copy = node.pagetable.get(page)
+            copy = node.pagetable.copies.get(page)
             if copy is not None and self.due_notices(copy):
                 self.invalidate_page(page)
 
@@ -232,7 +232,7 @@ class LazyUpdate(LazyBase):
     def resolve_pages(self, pages: List[int]) -> Generator:
         node = self.node
         for page in pages:
-            copy = node.pagetable.get(page)
+            copy = node.pagetable.copies.get(page)
             if copy is not None and self.due_notices(copy):
                 yield from self.fetch_pending(page)
 
@@ -249,7 +249,7 @@ class LazyHybrid(LazyBase):
         node = self.node
         yield from self._seal_if_any_dirty(pages)
         for page in pages:
-            copy = node.pagetable.get(page)
+            copy = node.pagetable.copies.get(page)
             if copy is None or not self.due_notices(copy):
                 continue
             if not copy.dirty and self.apply_pending(copy):

@@ -83,7 +83,7 @@ class SequentialInvalidate(BaseProtocol):
         return state
 
     def _local_mode(self, page: int) -> Optional[str]:
-        copy = self.node.pagetable.get(page)
+        copy = self.node.pagetable.copies.get(page)
         if copy is None or not copy.valid:
             return None
         return self.mode.get(page, READ)
@@ -104,13 +104,13 @@ class SequentialInvalidate(BaseProtocol):
         else:
             node.metrics.read_misses += 1
             node.ins.read_misses.inc()
-        if node.pagetable.get(page) is None:
+        if node.pagetable.copies.get(page) is None:
             node.metrics.cold_misses += 1
             node.ins.cold_misses.inc()
         if node.tracer:
             node.tracer.emit("protocol.page_fault", page=page,
                              node=node.proc, write=for_write,
-                             cold=node.pagetable.get(page) is None)
+                             cold=node.pagetable.copies.get(page) is None)
         while True:
             manager = node.page_owner(page)
             if manager == node.proc:
@@ -269,14 +269,14 @@ class SequentialInvalidate(BaseProtocol):
             return
         # Tell the owner to send its copy (or serve it ourselves).
         if source == node.proc:
-            copy = node.pagetable.get(page)
+            copy = node.pagetable.copies.get(page)
             if copy is None:
                 raise ProtocolError(
                     f"sc manager {node.proc} lost page {page}")
             # Snapshot and revoke our own access in the same event
             # step: a local fast-path write sneaking in between would
             # be lost with the outgoing copy.
-            values = copy.values.copy()
+            values = copy.snapshot()
             if for_write:
                 self._drop_local(page)  # ownership leaves this node
             else:
@@ -310,7 +310,7 @@ class SequentialInvalidate(BaseProtocol):
         node.ins.page_transfers.inc()
 
     def _drop_local(self, page: int) -> None:
-        copy = self.node.pagetable.get(page)
+        copy = self.node.pagetable.copies.get(page)
         if copy is not None and copy.valid:
             copy.valid = False
             self.node.metrics.invalidations += 1
@@ -340,7 +340,7 @@ class SequentialInvalidate(BaseProtocol):
                 payload={}))
         elif kind == MsgKind.DIFF_REQ and "sc_fetch" in payload:
             page = payload["sc_fetch"]
-            copy = self.node.pagetable.get(page)
+            copy = self.node.pagetable.copies.get(page)
             if copy is None:
                 raise ProtocolError(
                     f"sc node {self.node.proc} asked for page {page} "
@@ -348,7 +348,7 @@ class SequentialInvalidate(BaseProtocol):
             self.node.handler_send(Message(
                 src=self.node.proc, dst=message.src,
                 kind=MsgKind.DIFF_REPLY, reply_to=message.msg_id,
-                payload={"values": copy.values.copy()},
+                payload={"values": copy.snapshot()},
                 data_bytes=self.node.config.page_size))
             if payload.get("relinquish"):
                 self._drop_local(page)
@@ -361,7 +361,7 @@ class SequentialInvalidate(BaseProtocol):
         node = self.node
         payload = message.payload
         page = payload["page"]
-        copy = node.pagetable.get(page)
+        copy = node.pagetable.copies.get(page)
         if copy is None or not copy.valid:
             raise ProtocolError(
                 f"sc owner {node.proc} lost page {page}")
@@ -369,7 +369,7 @@ class SequentialInvalidate(BaseProtocol):
             src=node.proc, dst=payload["requester"],
             kind=MsgKind.PAGE_REPLY,
             payload={"sc_grant": page, "write": payload["write"],
-                     "values": copy.values.copy()},
+                     "values": copy.snapshot()},
             data_bytes=node.config.page_size))
         if payload["write"]:
             self._drop_local(page)

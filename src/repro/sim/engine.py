@@ -198,12 +198,62 @@ class Simulator:
     def run_process(self, process: Process,
                     max_events: Optional[int] = None) -> Any:
         """Run until ``process`` completes; returns its return value."""
-        self.run_all(lambda: process.triggered, max_events=max_events)
+        queue = self._queue
+        pop = heapq.heappop
+        dispatched = 0
+        depth_peak = 0
+        # Same loop as run_all with the stop predicate inlined to a
+        # plain attribute read (the lambda-per-event version showed up
+        # in whole-run profiles).
+        try:
+            while queue and not process.triggered:
+                if max_events is not None and dispatched >= max_events:
+                    break
+                depth = len(queue)
+                if depth > depth_peak:
+                    depth_peak = depth
+                time, _seq, callback, args = pop(queue)
+                if time < self.now:
+                    raise SimulationError("time went backwards")
+                self.now = time
+                callback(*args)
+                dispatched += 1
+        finally:
+            self._flush_counters(dispatched, depth_peak)
         if not process.triggered:
             raise SimulationError(
                 f"process {process.name!r} did not finish "
                 f"(deadlock or max_events={max_events} exceeded)")
         return process.value
+
+    def run_until(self, event: Event,
+                  max_events: Optional[int] = None) -> float:
+        """Run until ``event`` triggers, the queue drains, or
+        ``max_events`` have been processed.  Returns the final time.
+
+        Same loop as :meth:`run_process` with the stop condition as a
+        plain attribute read — a callback-based stop predicate costs a
+        Python call per dispatched event."""
+        queue = self._queue
+        pop = heapq.heappop
+        dispatched = 0
+        depth_peak = 0
+        try:
+            while queue and not event.triggered:
+                if max_events is not None and dispatched >= max_events:
+                    break
+                depth = len(queue)
+                if depth > depth_peak:
+                    depth_peak = depth
+                time, _seq, callback, args = pop(queue)
+                if time < self.now:
+                    raise SimulationError("time went backwards")
+                self.now = time
+                callback(*args)
+                dispatched += 1
+        finally:
+            self._flush_counters(dispatched, depth_peak)
+        return self.now
 
     def run_all(self, stop: Optional[Callable[[], bool]] = None,
                 max_events: Optional[int] = None) -> float:

@@ -113,7 +113,7 @@ class BarrierManager:
         waited = self.sim.now - arrived_at
         node.metrics.barrier_waits += 1
         node.metrics.barrier_wait_cycles += waited
-        node.ins.barrier_waits.inc()
+        node.ins.barrier_waits.value += 1
         node.ins.barrier_wait.observe(waited)
         if node.tracer:
             node.tracer.emit("sync.barrier_done", barrier=barrier_id,

@@ -5,8 +5,10 @@ Every relative markdown link in docs/*.md, README.md, and DESIGN.md
 must point at a file that exists (anchors are stripped; external
 http(s)/mailto links are skipped), docs/observability.md must mention
 every metric registered by the repro.obs catalog *and* every trace
-event in ``TRACE_EVENTS``, and every literal ``tracer.emit("...")``
-in the source must use a catalogued event name.
+event in ``TRACE_EVENTS``, every literal ``tracer.emit("...")``
+in the source must use a catalogued event name, and docs/memory.md
+must stay in sync with ``repro.mem``'s public classes — both
+directions (every exported class named, every named class real).
 """
 
 import re
@@ -54,12 +56,14 @@ def test_doc_files_found():
 
 
 def test_observability_doc_catalogues_every_metric():
-    from repro.obs import CATALOG, LAB_CATALOG, ROBUSTNESS_CATALOG
+    from repro.obs import (CATALOG, LAB_CATALOG, MEM_CATALOG,
+                           ROBUSTNESS_CATALOG)
 
     text = (REPO_ROOT / "docs" / "observability.md").read_text()
     undocumented = [
         spec.name
-        for spec in CATALOG + ROBUSTNESS_CATALOG + LAB_CATALOG
+        for spec in (CATALOG + ROBUSTNESS_CATALOG + LAB_CATALOG
+                     + MEM_CATALOG)
         if spec.name not in text]
     assert not undocumented, (
         "metrics missing from docs/observability.md: "
@@ -77,6 +81,49 @@ def test_observability_doc_tables_every_trace_event():
     assert not undocumented, (
         "trace events missing from docs/observability.md: "
         f"{undocumented}")
+
+
+#: A backtick span holding exactly one CamelCase identifier — how
+#: docs/memory.md names classes.  Dotted spans (`Diff.encode()`),
+#: ALL-CAPS constants, and lowercase names deliberately don't match.
+CLASS_TOKEN_RE = re.compile(r"`([A-Z][a-z][A-Za-z0-9]*)`")
+
+
+def test_memory_doc_names_every_public_mem_class():
+    """docs/memory.md must literally name (backticked) every public
+    class ``repro.mem`` exports."""
+    import inspect
+
+    import repro.mem as mem
+
+    text = (REPO_ROOT / "docs" / "memory.md").read_text()
+    public_classes = [name for name in mem.__all__
+                      if inspect.isclass(getattr(mem, name))]
+    assert public_classes, "repro.mem exports no classes?"
+    missing = [name for name in public_classes
+               if f"`{name}`" not in text]
+    assert not missing, (
+        f"repro.mem classes undocumented in docs/memory.md: {missing}")
+
+
+def test_every_class_named_in_memory_doc_exists():
+    """...and the other direction: every backticked CamelCase name in
+    docs/memory.md must resolve to a real attribute, so renames can't
+    leave the doc pointing at ghosts."""
+    import repro.core.api
+    import repro.mem
+    import repro.mem.instrument
+    import repro.obs
+
+    namespaces = (repro.mem, repro.mem.instrument, repro.obs,
+                  repro.core.api)
+    text = (REPO_ROOT / "docs" / "memory.md").read_text()
+    tokens = set(CLASS_TOKEN_RE.findall(text))
+    assert tokens, "no class names found in docs/memory.md?"
+    ghosts = [token for token in tokens
+              if not any(hasattr(ns, token) for ns in namespaces)]
+    assert not ghosts, (
+        f"docs/memory.md names nonexistent classes: {ghosts}")
 
 
 #: ``tracer.emit("name", ...)`` with a literal event name.  Dynamic

@@ -181,12 +181,19 @@ def test_install_catalog_registers_every_spec_idempotently():
         ROBUSTNESS_CATALOG)
     for spec in ROBUSTNESS_CATALOG:
         assert registry.get(spec.name).spec is spec
-    # The harness tier (repro.lab) completes the catalogue.
+    # The harness tier (repro.lab).
     from repro.obs import LAB_CATALOG, install_lab
     install_lab(registry)
     install_lab(registry)  # idempotent too
-    assert set(registry.names()) == set(CATALOG_BY_NAME)
     for spec in LAB_CATALOG:
+        assert registry.get(spec.name).spec is spec
+    # The memory-substrate tier (repro.mem.instrument) completes the
+    # catalogue.
+    from repro.obs import MEM_CATALOG, install_mem
+    install_mem(registry)
+    install_mem(registry)  # idempotent too
+    assert set(registry.names()) == set(CATALOG_BY_NAME)
+    for spec in MEM_CATALOG:
         assert registry.get(spec.name).spec is spec
 
 

@@ -96,8 +96,8 @@ class TestIncorporate:
         # Page 37 was never allocated/cached at node 0.
         rec = record(1, 1, (0, 1, 0, 0), [37])
         node.protocol.incorporate_records([rec])
-        assert [n.interval_id
-                for n in node.protocol.orphan_notices[37]] == [(1, 1)]
+        assert [n.interval_id for n in
+                node.protocol.orphan_notices[37].values()] == [(1, 1)]
 
 
 class TestConcurrentLastModifiers:
