@@ -26,7 +26,7 @@ from typing import List, Optional
 
 from repro.analysis.experiments import APP_PARAMS, protocol_sweep
 from repro.apps import APP_NAMES, create_app
-from repro.core.config import (FaultConfig, MachineConfig,
+from repro.core.config import (CrashSpec, FaultConfig, MachineConfig,
                                NetworkConfig, StallSpec)
 from repro.core.metrics import RunResult
 from repro.core.runner import run_app
@@ -47,15 +47,75 @@ def _app(args):
     return create_app(args.app, **params)
 
 
+def _probability(text: str) -> float:
+    """Argparse type for per-message fault rates: a float in
+    [0.0, 1.0) — the injector's domain — rejected here with a clear
+    message instead of failing deep inside config validation."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a probability, got {text!r}")
+    if not 0.0 <= value < 1.0:
+        raise argparse.ArgumentTypeError(
+            f"probability must be at least 0.0 and below 1.0, "
+            f"got {value}")
+    return value
+
+
+def _nonnegative_us(text: str) -> float:
+    """Argparse type for durations/times in microseconds (>= 0)."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected microseconds, got {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"microseconds must be non-negative, got {value}")
+    return value
+
+
 def _parse_stall(spec: str) -> StallSpec:
     """Parse a ``PROC:AT_US:DURATION_US`` stall spec."""
     try:
         proc, at_us, duration_us = spec.split(":")
-        return StallSpec(proc=int(proc), at_us=float(at_us),
-                         duration_us=float(duration_us))
+        proc = int(proc)
+        at_us = float(at_us)
+        duration_us = float(duration_us)
     except ValueError:
         raise argparse.ArgumentTypeError(
             f"expected PROC:AT_US:DURATION_US, got {spec!r}")
+    if at_us < 0 or duration_us < 0:
+        raise argparse.ArgumentTypeError(
+            f"stall times must be non-negative, got {spec!r}")
+    try:
+        return StallSpec(proc=proc, at_us=at_us,
+                         duration_us=duration_us)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"bad stall {spec!r}: {exc}")
+
+
+def _parse_crash(spec: str) -> CrashSpec:
+    """Parse a ``PROC:AT_US[:DOWN_US]`` crash spec (no DOWN_US means
+    crash-stop: the node never comes back)."""
+    parts = spec.split(":")
+    try:
+        if len(parts) == 2:
+            proc, at_us = int(parts[0]), float(parts[1])
+            down_us = None
+        elif len(parts) == 3:
+            proc, at_us = int(parts[0]), float(parts[1])
+            down_us = float(parts[2])
+        else:
+            raise ValueError(spec)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected PROC:AT_US[:DOWN_US], got {spec!r}")
+    try:
+        return CrashSpec(proc=proc, at_us=at_us, down_us=down_us)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"bad crash {spec!r}: {exc}")
 
 
 def _faults(args) -> FaultConfig:
@@ -63,6 +123,12 @@ def _faults(args) -> FaultConfig:
                        dup_prob=getattr(args, "dup", 0.0),
                        reorder_prob=getattr(args, "reorder", 0.0),
                        stalls=tuple(getattr(args, "stall", None) or ()),
+                       crashes=tuple(getattr(args, "crash", None)
+                                     or ()),
+                       crash_mttf_us=getattr(args, "crash_mttf", 0.0),
+                       crash_mttr_us=getattr(args, "crash_mttr", 0.0),
+                       crash_horizon_us=getattr(args, "crash_horizon",
+                                                0.0),
                        seed=getattr(args, "fault_seed", None))
 
 
@@ -246,7 +312,10 @@ def cmd_losssweep(args) -> int:
     """Per-protocol slowdown across message-loss rates
     (docs/robustness.md)."""
     from repro.analysis.faults import format_loss_table, loss_sweep
-    rates = [float(r) for r in args.rates.split(",")]
+    try:
+        rates = [_probability(r) for r in args.rates.split(",")]
+    except argparse.ArgumentTypeError as exc:
+        raise SystemExit(f"losssweep: {exc}")
     protocols = (args.protocols.split(",") if args.protocols
                  else list(PROTOCOL_NAMES))
     for protocol in protocols:
@@ -260,6 +329,47 @@ def cmd_losssweep(args) -> int:
                              app_params=APP_PARAMS[args.scale][args.app],
                              lab=lab)
     print(format_loss_table(results))
+    return 0
+
+
+def cmd_crashsweep(args) -> int:
+    """Availability study across node-crash rates: completion rate,
+    recovery latency, and message overhead per protocol and network
+    (docs/robustness.md)."""
+    from repro.analysis.availability import (availability_sweep,
+                                             format_availability_table)
+    try:
+        mttfs = [_nonnegative_us(r) for r in args.mttfs.split(",")]
+    except argparse.ArgumentTypeError as exc:
+        raise SystemExit(f"crashsweep: {exc}")
+    protocols = (args.protocols.split(",") if args.protocols
+                 else ["li", "lh"])
+    for protocol in protocols:
+        if protocol not in PROTOCOL_NAMES:
+            raise SystemExit(f"unknown protocol {protocol!r}")
+    network_names = args.networks.split(",")
+    networks = []
+    for name in network_names:
+        if name == "ethernet":
+            networks.append((name, NetworkConfig.ethernet()))
+        elif name == "atm":
+            networks.append((name, NetworkConfig.atm(args.bandwidth)))
+        elif name == "ideal":
+            networks.append((name, NetworkConfig.ideal()))
+        else:
+            raise SystemExit(f"unknown network {name!r}")
+    params = APP_PARAMS[args.scale][args.app]
+    print(f"{args.app} on {args.procs} procs, "
+          f"mttf {mttfs} µs, mttr {args.crash_mttr} µs, "
+          f"horizon {args.crash_horizon} µs")
+    results = availability_sweep(
+        lambda: create_app(args.app, **params),
+        config=MachineConfig(nprocs=args.procs, cpu_mhz=args.mhz,
+                             page_size=args.page_size),
+        mttfs=mttfs, mttr_us=args.crash_mttr,
+        horizon_us=args.crash_horizon, protocols=protocols,
+        networks=networks, max_events=args.max_events)
+    print(format_availability_table(results))
     return 0
 
 
@@ -394,23 +504,43 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--page-size", type=int, default=4096)
         p.add_argument("--scale", choices=["small", "bench", "large"],
                        default="bench")
-        # Fault injection (docs/robustness.md).  Any non-zero rate or
-        # stall enables the seeded injector and reliable transport.
-        p.add_argument("--loss", type=float, default=0.0,
+        # Fault injection (docs/robustness.md).  Any non-zero rate,
+        # stall, or crash enables the seeded injector and reliable
+        # transport.
+        p.add_argument("--loss", type=_probability, default=0.0,
                        metavar="PROB",
-                       help="per-message drop probability")
-        p.add_argument("--dup", type=float, default=0.0,
+                       help="per-message drop probability in [0, 1)")
+        p.add_argument("--dup", type=_probability, default=0.0,
                        metavar="PROB",
-                       help="per-message duplication probability")
-        p.add_argument("--reorder", type=float, default=0.0,
+                       help="per-message duplication probability "
+                            "in [0, 1)")
+        p.add_argument("--reorder", type=_probability, default=0.0,
                        metavar="PROB",
-                       help="per-message reorder probability")
+                       help="per-message reorder probability "
+                            "in [0, 1)")
         p.add_argument("--fault-seed", type=int, default=None,
                        dest="fault_seed", metavar="SEED",
                        help="fault-plan seed (default: machine seed)")
         p.add_argument("--stall", type=_parse_stall, action="append",
                        metavar="PROC:AT_US:DUR_US",
                        help="inject a CPU stall (repeatable)")
+        p.add_argument("--crash", type=_parse_crash, action="append",
+                       metavar="PROC:AT_US[:DOWN_US]",
+                       help="crash a node at AT_US, recovering after "
+                            "DOWN_US (omit DOWN_US for crash-stop; "
+                            "repeatable)")
+        p.add_argument("--crash-mttf", type=_nonnegative_us,
+                       default=0.0, dest="crash_mttf", metavar="US",
+                       help="mean time to failure per node (µs); "
+                            "draws a seeded crash plan")
+        p.add_argument("--crash-mttr", type=_nonnegative_us,
+                       default=0.0, dest="crash_mttr", metavar="US",
+                       help="mean time to repair (µs); 0 with "
+                            "--crash-mttf means crash-stop")
+        p.add_argument("--crash-horizon", type=_nonnegative_us,
+                       default=0.0, dest="crash_horizon", metavar="US",
+                       help="pre-draw crashes up to this time "
+                            "(required with --crash-mttf)")
         lab_flags(p)
 
     p_run = sub.add_parser("run", help=cmd_run.__doc__)
@@ -466,6 +596,25 @@ def build_parser() -> argparse.ArgumentParser:
                         help="comma-separated protocol subset "
                              "(default: all five)")
     p_loss.set_defaults(func=cmd_losssweep)
+
+    p_crash = sub.add_parser("crashsweep", help=cmd_crashsweep.__doc__)
+    common(p_crash)
+    p_crash.add_argument("--mttfs", default="0,50000,20000",
+                         help="comma-separated per-node MTTFs in µs "
+                              "(0 = the crash-free baseline; pass it "
+                              "first)")
+    p_crash.add_argument("--protocols", default="li,lh",
+                         help="comma-separated protocol subset "
+                              "(default: li,lh)")
+    p_crash.add_argument("--networks", default="ethernet,atm",
+                         help="comma-separated networks "
+                              "(default: ethernet,atm)")
+    p_crash.add_argument("--max-events", type=int, default=500_000,
+                         dest="max_events",
+                         help="event budget per cell (crash-stop "
+                              "cells never drain on their own)")
+    p_crash.set_defaults(func=cmd_crashsweep, procs=4, scale="small",
+                         crash_mttr=5_000.0, crash_horizon=100_000.0)
 
     p_trace = sub.add_parser(
         "trace",

@@ -126,6 +126,31 @@ class StallSpec:
 
 
 @dataclass(frozen=True)
+class CrashSpec:
+    """One scheduled node crash: ``proc`` fails at simulated time
+    ``at_us`` and, for crash-recover, restarts ``down_us`` later from
+    a checkpoint of its state at the crash instant.  ``down_us=None``
+    is a crash-stop: the node never returns (availability runs must
+    then bound the simulation and report partial completion).
+
+    ``at_us`` must be strictly positive so worker processes exist by
+    the time the crash fires (they spawn at t=0)."""
+
+    proc: int
+    at_us: float
+    down_us: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.proc < 0:
+            raise ValueError("crash proc must be non-negative")
+        if self.at_us <= 0:
+            raise ValueError("crash at_us must be positive")
+        if self.down_us is not None and self.down_us <= 0:
+            raise ValueError(
+                "crash down_us must be positive (None for crash-stop)")
+
+
+@dataclass(frozen=True)
 class LinkFault:
     """Per-link fault-rate overrides for the directed link
     ``src -> dst``.  ``None`` fields fall back to the global rates."""
@@ -161,6 +186,17 @@ class FaultConfig:
     stalls: "Tuple[StallSpec, ...]" = ()
     links: "Tuple[LinkFault, ...]" = ()
     seed: "int | None" = None       # fault substream seed (None: machine)
+    # Node-lifecycle faults (crash-stop / crash-recover).  ``crashes``
+    # is an explicit schedule; ``crash_mttf_us`` > 0 additionally draws
+    # exponential failure times per node (mean ``crash_mttf_us``) up to
+    # ``crash_horizon_us``, each paired with an exponential repair time
+    # of mean ``crash_mttr_us`` (0 means the drawn crashes never
+    # recover).  Both draws come from their own named substreams, so
+    # enabling message-level faults never moves a crash and vice versa.
+    crashes: "Tuple[CrashSpec, ...]" = ()
+    crash_mttf_us: float = 0.0
+    crash_mttr_us: float = 0.0
+    crash_horizon_us: float = 0.0
 
     def __post_init__(self) -> None:
         for name in ("drop_prob", "dup_prob", "reorder_prob",
@@ -170,16 +206,32 @@ class FaultConfig:
                 raise ValueError(f"{name} must be in [0, 1): {value}")
         object.__setattr__(self, "stalls", tuple(self.stalls))
         object.__setattr__(self, "links", tuple(self.links))
+        object.__setattr__(self, "crashes", tuple(self.crashes))
+        for name in ("crash_mttf_us", "crash_mttr_us",
+                     "crash_horizon_us"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if self.crash_mttf_us and not self.crash_horizon_us:
+            raise ValueError(
+                "crash_mttf_us needs crash_horizon_us > 0: the crash "
+                "plan is pre-drawn up to the horizon so it is a pure "
+                "function of the seed, independent of run length")
 
     @property
     def enabled(self) -> bool:
         """Whether any fault source is configured."""
         if (self.drop_prob or self.dup_prob or self.reorder_prob
-                or self.delay_prob or self.stalls):
+                or self.delay_prob or self.stalls
+                or self.crash_enabled):
             return True
         return any(rate for link in self.links
                    for rate in (link.drop_prob, link.dup_prob,
                                 link.reorder_prob, link.delay_prob))
+
+    @property
+    def crash_enabled(self) -> bool:
+        """Whether any node-lifecycle fault is configured."""
+        return bool(self.crashes or self.crash_mttf_us)
 
     def replace(self, **kwargs) -> "FaultConfig":
         return dataclasses.replace(self, **kwargs)
@@ -202,14 +254,29 @@ class TransportConfig:
     expiry multiplies the timeout by ``rto_backoff`` (capped at
     ``rto_backoff ** max_backoff_exp``), and every arm is stretched by
     a multiplicative jitter of up to ``jitter_frac`` so synchronized
-    losers do not retransmit in lockstep.  ``force`` enables the
-    transport even with no faults configured (testing only — the
-    default keeps fault-free runs on the raw, zero-overhead path).
+    losers do not retransmit in lockstep.
+
+    ``rto_max_us`` is an *absolute* ceiling on the armed timeout,
+    applied after the backoff multiplier but before jitter (so probes
+    to a dead peer stay de-synchronized): no matter how far SRTT
+    inflates or how many expiries accumulate, a sender probes a silent
+    peer at least every ``rto_max_us * (1 + jitter_frac)``
+    microseconds.  Without it a long-dead peer (see node crashes in
+    :class:`FaultConfig`) could drive the interval unbounded and make
+    recovery latency depend on how long the node happened to be down.
+    The 2-second default mirrors deployed TCP maximums (RFC 6298
+    permits anything >= 60s; BSD derivatives clamp far lower) scaled
+    to simulated runs lasting single-digit seconds.
+
+    ``force`` enables the transport even with no faults configured
+    (testing only — the default keeps fault-free runs on the raw,
+    zero-overhead path).
     """
 
     rto_us: float = 10000.0
     rto_backoff: float = 2.0
     max_backoff_exp: int = 6
+    rto_max_us: float = 2_000_000.0
     ack_delay_us: float = 200.0
     jitter_frac: float = 0.1
     force: bool = False
@@ -219,6 +286,8 @@ class TransportConfig:
             raise ValueError("rto_us must be positive")
         if self.rto_backoff < 1.0:
             raise ValueError("rto_backoff must be >= 1")
+        if self.rto_max_us < self.rto_us:
+            raise ValueError("rto_max_us must be >= rto_us")
 
 
 @dataclass(frozen=True)
@@ -290,6 +359,8 @@ class MachineConfig:
                                  for s in faults.get("stalls", ()))
         faults["links"] = tuple(LinkFault(**l)
                                 for l in faults.get("links", ()))
+        faults["crashes"] = tuple(CrashSpec(**c)
+                                  for c in faults.get("crashes", ()))
         data["faults"] = FaultConfig(**faults)
         data["transport"] = TransportConfig(**data["transport"])
         return MachineConfig(**data)

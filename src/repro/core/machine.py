@@ -58,6 +58,7 @@ class Machine:
         # bit-for-bit identical to a build without the subsystem.
         self.faults = None
         self.transport = None
+        self.lifecycle = None
         if config.faults.enabled:
             from repro.faults import FaultInjector
             self.faults = FaultInjector(config, obs=self.obs)
@@ -85,7 +86,18 @@ class Machine:
 
         if self.faults is not None:
             self.faults.install_stalls(self)
+        if self.faults is not None and config.faults.crash_enabled:
+            from repro.sim.lifecycle import NodeLifecycleManager
+            self.lifecycle = NodeLifecycleManager(
+                self, self.faults, self.transport, self.obs)
+            self.transport.lifecycle = self.lifecycle
+            # Re-attach delivery with the NIC gate in front: packets
+            # to a down node die here, before transport accounting.
+            self.network.attach(
+                self.lifecycle.gate(self.transport.on_network_delivery))
+            self.lifecycle.install()
 
+        self._worker_procs: Dict[int, List] = {}
         self._finished: List[Optional[float]] = [None] * config.nprocs
         self._app_results: List[object] = [None] * config.nprocs
         self._unfinished = config.nprocs
@@ -194,10 +206,16 @@ class Machine:
 
     # -- execution ---------------------------------------------------------------
 
+    def worker_processes(self, proc: int):
+        """The application processes running on node ``proc`` (the
+        lifecycle manager freezes these across a crash)."""
+        return self._worker_procs.get(proc, ())
+
     def run(self, worker_factory: Callable[..., Generator],
             max_events: Optional[int] = None,
             app: str = "app",
-            threads_per_proc: int = 1) -> RunResult:
+            threads_per_proc: int = 1,
+            allow_unfinished: bool = False) -> RunResult:
         """Run one application: ``worker_factory(proc)`` must return
         the generator to execute on each node.  With
         ``threads_per_proc > 1`` (the paper's multithreading
@@ -213,6 +231,7 @@ class Machine:
         self._finished = [None] * nworkers
         self._app_results = [None] * nworkers
         self._unfinished = nworkers
+        self._worker_procs = {p: [] for p in range(self.config.nprocs)}
         if threads_per_proc > 1:
             for node in self.nodes:
                 node.enable_multithreading()
@@ -221,28 +240,44 @@ class Machine:
                        for thread in range(threads_per_proc)]
             for proc, thread in workers:
                 generator = worker_factory(proc, thread)
-                self.sim.spawn(
+                process = self.sim.spawn(
                     self._wrap_worker(proc * threads_per_proc + thread,
                                       generator),
                     name=f"worker-{proc}.{thread}")
+                self._worker_procs[proc].append(process)
         else:
             for proc in range(self.config.nprocs):
-                self.sim.spawn(
+                process = self.sim.spawn(
                     self._wrap_worker(proc, worker_factory(proc)),
                     name=f"worker-{proc}")
+                self._worker_procs[proc].append(process)
         self._done = self.sim.event("all-workers-done")
+        if (max_events is None and self.lifecycle is not None
+                and any(ev.down_us is None
+                        for ev in self.lifecycle.plan)):
+            # A crash-stop plan never drains (peers probe the dead
+            # node at the capped RTO forever): bound the run so it
+            # fails loudly instead of spinning.
+            max_events = 5_000_000
         self.sim.run_until(self._done, max_events=max_events)
         if not self._all_finished():
-            unfinished = [i for i, t in enumerate(self._finished)
-                          if t is None]
-            raise SimulationError(
-                f"workers {unfinished} did not finish "
-                "(deadlock or event budget exceeded)")
-        elapsed = max(t for t in self._finished if t is not None)
+            if not allow_unfinished:
+                unfinished = [i for i, t in enumerate(self._finished)
+                              if t is None]
+                raise SimulationError(
+                    f"workers {unfinished} did not finish "
+                    "(deadlock or event budget exceeded)")
+            # Partial completion (crash-stop availability runs):
+            # elapsed covers what actually ran; dead workers keep
+            # finish_time's default and a None app_result.
+            elapsed = self.sim.now
+        else:
+            elapsed = max(t for t in self._finished if t is not None)
         for proc, node in enumerate(self.nodes):
-            node.metrics.finish_time = max(
-                self._finished[proc * threads_per_proc + thread]
-                for thread in range(threads_per_proc))
+            times = [self._finished[proc * threads_per_proc + thread]
+                     for thread in range(threads_per_proc)]
+            if all(t is not None for t in times):
+                node.metrics.finish_time = max(times)
         return RunResult(
             app=app,
             protocol=self.protocol_name,
@@ -270,6 +305,12 @@ class Machine:
     def _all_finished(self) -> bool:
         # O(1): run_all's stop callback runs once per dispatched event.
         return self._unfinished == 0
+
+    def completion(self) -> tuple:
+        """``(finished, total)`` worker counts from the last run —
+        the availability study's completion rate under crash-stop."""
+        done = sum(1 for t in self._finished if t is not None)
+        return done, len(self._finished)
 
     # -- debugging helpers ---------------------------------------------------------
 

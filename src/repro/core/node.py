@@ -18,7 +18,7 @@ software overhead directly slows the application down.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Generator, Optional
+from typing import Any, Callable, Dict, Generator, List, Optional
 
 from repro.core.config import MachineConfig
 from repro.core.metrics import NodeMetrics
@@ -74,6 +74,11 @@ class Node:
         # handler-context sends so traces can chain request->response
         # hops.  Only maintained while tracing is enabled.
         self._trace_cause: Optional[int] = None
+        # Node lifecycle (repro.sim.lifecycle): while down, messages
+        # that already cleared receive accounting are logged instead
+        # of dispatched, and replayed in order at recovery.
+        self._down = False
+        self._crash_rx_log: List[Message] = []
         # Multithreading (the paper's future-work extension): several
         # application threads share this node; computation serializes
         # on the CPU while blocked threads overlap their communication.
@@ -304,6 +309,9 @@ class Node:
         self.sim.schedule(done - now, self._dispatch, message)
 
     def _dispatch(self, message: Message) -> None:
+        if self._down:
+            self._crash_rx_log.append(message)
+            return
         if self.tracer:
             self._trace_cause = message.msg_id
         if self._resolve_reply(message):

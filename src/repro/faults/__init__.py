@@ -8,6 +8,7 @@ The reliable transport (:mod:`repro.net.transport`) recovers delivery
 on top of it; ``docs/robustness.md`` describes both.
 """
 
-from repro.faults.injector import Decision, FaultInjector
+from repro.faults.injector import (CrashEvent, Decision,
+                                   FaultInjector)
 
-__all__ = ["Decision", "FaultInjector"]
+__all__ = ["CrashEvent", "Decision", "FaultInjector"]

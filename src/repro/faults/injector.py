@@ -24,6 +24,8 @@ duplicate, reorder hold and injected delay is counted in the
 
 from __future__ import annotations
 
+import math
+from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from repro.core.config import MachineConfig
@@ -46,6 +48,17 @@ class Decision:
                 f"delay={self.extra_delay:g}>")
 
 
+@dataclass(frozen=True)
+class CrashEvent:
+    """One resolved entry of the crash plan: node ``proc`` fails at
+    ``at_us``; ``down_us`` is the outage length (``None`` = crash-stop,
+    the node never returns)."""
+
+    proc: int
+    at_us: float
+    down_us: Optional[float]
+
+
 class FaultInjector:
     """Per-transmission fault decisions plus scheduled CPU stalls."""
 
@@ -60,6 +73,11 @@ class FaultInjector:
         self._links = {(link.src, link.dst): link for link in fc.links}
         self.reorder_delay = config.us_to_cycles(fc.reorder_delay_us)
         self.delay_cycles = config.us_to_cycles(fc.delay_us)
+        # Node-lifecycle plan, drawn eagerly at construction (same
+        # pre-draw discipline as the message streams): a pure function
+        # of (seed, config), never of what the run does.
+        self.crash_plan: Tuple[CrashEvent, ...] = \
+            self._build_crash_plan(seed)
         # Legacy-style counters, always kept (tests may run without obs).
         self.drops = 0
         self.duplicates = 0
@@ -83,6 +101,56 @@ class FaultInjector:
             "stalls": registry.get("faults.stalls_total"),
             "stall_cycles": registry.get("faults.stall_cycles_total"),
         }
+
+    # -- node-lifecycle plan --------------------------------------------
+
+    def _build_crash_plan(self, seed) -> Tuple[CrashEvent, ...]:
+        """Resolve explicit :class:`~repro.core.config.CrashSpec`
+        entries plus MTTF/MTTR exponential draws into one
+        time-ordered plan.
+
+        Draw discipline: each node draws failure times from its own
+        ``faults.crash.<proc>`` substream and repair times from
+        ``faults.recover.<proc>``, one repair draw per failure draw
+        whether or not ``crash_mttr_us`` is enabled — so switching a
+        sweep from crash-recover to crash-stop (mttr 0) keeps every
+        node's first crash instant in place, one node's draws never
+        shift another's, and message-level fault streams are never
+        consumed.  MTTF is measured from the previous repair, so a
+        node's drawn crashes never overlap its own outage; a
+        crash-stop draw ends that node's chain.
+        """
+        fc = self.config.faults
+        events = [CrashEvent(spec.proc, spec.at_us, spec.down_us)
+                  for spec in fc.crashes]
+        for spec in fc.crashes:
+            if not 0 <= spec.proc < self.config.nprocs:
+                raise ValueError(
+                    f"crash names processor {spec.proc}, machine has "
+                    f"{self.config.nprocs}")
+        if fc.crash_mttf_us:
+            for proc in range(self.config.nprocs):
+                crash_rng = substream(seed, f"faults.crash.{proc}")
+                repair_rng = substream(seed,
+                                       f"faults.recover.{proc}")
+                now = 0.0
+                while True:
+                    ttf = -fc.crash_mttf_us * math.log1p(
+                        -crash_rng.random())
+                    u_repair = repair_rng.random()
+                    at = now + max(ttf, 1e-9)
+                    if at >= fc.crash_horizon_us:
+                        break
+                    down = None
+                    if fc.crash_mttr_us:
+                        down = max(-fc.crash_mttr_us
+                                   * math.log1p(-u_repair), 1e-9)
+                    events.append(CrashEvent(proc, at, down))
+                    if down is None:
+                        break
+                    now = at + down
+        return tuple(sorted(events,
+                            key=lambda ev: (ev.at_us, ev.proc)))
 
     # -- per-transmission decisions -------------------------------------
 

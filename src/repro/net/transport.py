@@ -127,6 +127,11 @@ class ReliableTransport:
         self.rto_cycles = config.us_to_cycles(tc.rto_us)
         self.rto_backoff = tc.rto_backoff
         self.max_backoff_exp = tc.max_backoff_exp
+        self.rto_max_cycles = config.us_to_cycles(tc.rto_max_us)
+        # Set by the machine when crash faults are enabled; lets the
+        # transport idle streams whose sender is down and reset
+        # sessions when a peer rejoins.
+        self.lifecycle = None
         self.ack_delay = config.us_to_cycles(tc.ack_delay_us)
         self.jitter_frac = tc.jitter_frac
         fault_seed = config.faults.seed
@@ -161,6 +166,10 @@ class ReliableTransport:
                 "transport.delivered_total").labels(),
             "recovery": registry.get(
                 "transport.recovery_cycles").labels(),
+            "peer_down": registry.get(
+                "transport.peer_down_timeouts_total").labels(),
+            "resets": registry.get(
+                "transport.session_resets_total").labels(),
         }
 
     def _inc(self, name: str, amount=1) -> None:
@@ -192,6 +201,12 @@ class ReliableTransport:
         packet.first_sent = self.sim.now
         stream.unacked[packet.seq] = packet
         self._inc("data")
+        if (self.lifecycle is not None
+                and self.lifecycle.is_down(message.src)):
+            # A handler completion scheduled before the crash landed
+            # after it: queue the packet but keep the NIC silent.  The
+            # session reset on recovery retransmits it.
+            return
         # Piggyback: this data packet carries the ack the reverse
         # stream may have owed, so cancel any pending pure ack.
         reverse = self._stream(message.dst, message.src)
@@ -230,7 +245,11 @@ class ReliableTransport:
                        stream.srtt + 4.0 * stream.rttvar
                        + wire_round_trip)
         exponent = min(stream.backoff_exp, self.max_backoff_exp)
-        delay = base * (self.rto_backoff ** exponent)
+        # Absolute ceiling: a long-dead peer must not drive the probe
+        # interval unbounded — cap the backed-off base, then jitter on
+        # top so capped probes stay de-synchronized across streams.
+        delay = min(base * (self.rto_backoff ** exponent),
+                    self.rto_max_cycles)
         return delay * (1.0 + self.jitter_frac
                         * self._jitter_rng.random())
 
@@ -259,8 +278,19 @@ class ReliableTransport:
         stream.timer = None
         if not stream.unacked:
             return
+        if (self.lifecycle is not None
+                and self.lifecycle.is_down(stream.src)):
+            # Sender is down: its NIC is dead, so no retransmit, no
+            # backoff, no counting — just keep the timer chain alive
+            # until recovery resets the session.
+            self._arm(stream)
+            return
         self._inc("timeouts")
         stream.backoff_exp += 1
+        if stream.backoff_exp > self.max_backoff_exp:
+            # Repeated expiries at the backoff cap are the sender's
+            # peer-death suspicion signal (probing a silent peer).
+            self._inc("peer_down")
         oldest = next(iter(stream.unacked.values()))
         oldest.attempts += 1
         # Refresh the piggybacked ack to the latest receiver state.
@@ -359,6 +389,40 @@ class ReliableTransport:
                             stream.expected - 1, None)
         self._inc("acks")
         self._transmit(ack_packet)
+
+    # -- crash recovery -------------------------------------------------
+
+    def on_node_recovered(self, proc: int) -> None:
+        """Session reset when ``proc`` rejoins after a crash.
+
+        Every stream touching ``proc`` restarts its retransmission
+        state: backoff returns to zero (the old RTO reflected a dead
+        peer, not the path), the oldest unacked packet goes out
+        immediately — queued sends from the recovered node, and peers'
+        packets dropped at the dead NIC, bridge the outage here — and
+        any ack the recovered receiver owed is flushed at once."""
+        for stream in self._streams.values():
+            if proc not in (stream.src, stream.dst):
+                continue
+            reset = False
+            stream.backoff_exp = 0
+            if stream.unacked:
+                reset = True
+                if stream.timer is not None:
+                    stream.timer.cancel()
+                    stream.timer = None
+                oldest = next(iter(stream.unacked.values()))
+                oldest.attempts += 1
+                oldest.ack = self._cumulative_ack(stream.dst,
+                                                  stream.src)
+                self._inc("retx")
+                self._transmit(oldest)
+                self._arm(stream)
+            if stream.dst == proc and stream.ack_pending:
+                reset = True
+                self._flush_ack(stream, stream.ack_timer)
+            if reset:
+                self._inc("resets")
 
     # -- introspection --------------------------------------------------
 

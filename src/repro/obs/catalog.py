@@ -167,6 +167,24 @@ ROBUSTNESS_CATALOG: Tuple[MetricSpec, ...] = (
           "CPU stall windows injected."),
     _spec("faults.stall_cycles_total", COUNTER, "cycles",
           "Cycles of injected CPU stall."),
+    # -- node lifecycle (crash/recovery) -------------------------------
+    _spec("faults.crashes_total", COUNTER, "crashes",
+          "Node crashes executed by the lifecycle manager.",
+          consumers=("availability sweep",)),
+    _spec("faults.crash_dropped_packets_total", COUNTER, "packets",
+          "Packets dropped at a crashed node's dead NIC.",
+          consumers=("conservation invariant",)),
+    _spec("faults.crash_checkpoint_bytes", HISTOGRAM, "bytes",
+          "Serialized size of the DSM checkpoint taken at each "
+          "crash."),
+    _spec("faults.recoveries_total", COUNTER, "recoveries",
+          "Crashed nodes restored from checkpoint.",
+          consumers=("availability sweep",)),
+    _spec("faults.recovery_outage_cycles", HISTOGRAM, "cycles",
+          "Crash-to-restore downtime per recovery.",
+          consumers=("availability sweep",)),
+    _spec("faults.recovery_replayed_total", COUNTER, "messages",
+          "Logged in-flight messages replayed into a restored node."),
     # -- transport -----------------------------------------------------
     _spec("transport.packets_sent_total", COUNTER, "packets",
           "Packets handed to the network (data, acks, retransmits).",
@@ -196,6 +214,13 @@ ROBUSTNESS_CATALOG: Tuple[MetricSpec, ...] = (
     _spec("transport.recovery_cycles", HISTOGRAM, "cycles",
           "First-send-to-ack latency of packets that needed at least "
           "one retransmission.", consumers=("loss sweep",)),
+    _spec("transport.peer_down_timeouts_total", COUNTER, "timeouts",
+          "Timer expiries at the maximum backoff — the sender's "
+          "peer-death suspicion signal.",
+          consumers=("availability sweep",)),
+    _spec("transport.session_resets_total", COUNTER, "streams",
+          "Per-stream resets (backoff cleared, oldest unacked "
+          "reprobed) when a crashed peer recovers."),
 )
 
 #: Metrics of the experiment harness (:mod:`repro.lab`, see
@@ -279,12 +304,21 @@ def install_catalog(registry) -> None:
         registry.from_spec(spec)
 
 
+#: Checkpoint blobs run page-sized to megabytes, so the cycle-scaled
+#: default histogram buckets would be useless for them.
+CRASH_BYTE_BUCKETS: Tuple[float, ...] = (
+    1024, 4096, 16384, 65536, 262144, 1048576, 4194304)
+
+
 def install_robustness(registry) -> None:
     """Instantiate the fault/transport metrics.  Called by the fault
     injector and the reliable transport when they are constructed, so
     these series appear in dumps exactly when the subsystem is on."""
     for spec in ROBUSTNESS_CATALOG:
-        registry.from_spec(spec)
+        if spec.name == "faults.crash_checkpoint_bytes":
+            registry.from_spec(spec, buckets=CRASH_BYTE_BUCKETS)
+        else:
+            registry.from_spec(spec)
 
 
 def install_lab(registry) -> None:

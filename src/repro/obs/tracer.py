@@ -88,6 +88,13 @@ TRACE_EVENTS: Dict[str, str] = {
     "transport.retx":
         "the reliable transport retransmitted a packet (src, dst, "
         "seq, rto)",
+    "node.crash":
+        "a node crashed: workers frozen, NIC dead, DSM state "
+        "checkpointed (node, checkpoint_bytes, down_cycles or "
+        "crash-stop)",
+    "node.recover":
+        "a crashed node restored its checkpoint and rejoined (node, "
+        "outage_cycles, replayed)",
 }
 
 

@@ -69,6 +69,14 @@ class BaseProtocol:
     #: Policy knobs settable through ``configure`` (ablation studies).
     TUNABLES = ("price_diffs_as_pages",)
 
+    #: Whether :mod:`repro.mem.checkpoint` can serialize this
+    #: protocol's consistency state (the base orphan/own/unpropagated
+    #: dicts and the barrier clock).  Subclasses carrying state the
+    #: RCKP format does not cover must opt out, which turns node-crash
+    #: faults into an explicit configuration error instead of a
+    #: silently incomplete restore.
+    supports_checkpoint = True
+
     def __init__(self, node) -> None:
         self.node = node
         # Ablation: charge every diff at full page size, modelling a

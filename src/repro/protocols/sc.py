@@ -57,6 +57,9 @@ class SequentialInvalidate(BaseProtocol):
     # A valid copy may be read-only (mode READ): writes must still go
     # through ensure_valid's ownership transaction.
     valid_copy_serves_writes = False
+    # The ownership directory (managed/mode/_fault_done) is outside
+    # the RCKP checkpoint sections; crash faults reject SC runs.
+    supports_checkpoint = False
 
     def __init__(self, node) -> None:
         super().__init__(node)

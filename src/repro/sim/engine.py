@@ -34,18 +34,42 @@ class Process(Event):
     generator's return value) when the generator finishes, so processes
     can be joined by yielding them."""
 
-    __slots__ = ("generator",)
+    __slots__ = ("generator", "_paused", "_deferred")
 
     def __init__(self, sim, generator: Generator, name: str = "") -> None:
         super().__init__(sim, name=name or getattr(generator, "__name__",
                                                    "process"))
         self.generator = generator
+        self._paused = False
+        self._deferred: Optional[List[Optional[Event]]] = None
         tracer = sim.tracer
         if tracer is not None and tracer.sink.enabled:
             tracer.emit("sim.process_spawn", process=self.name)
         sim.schedule(0.0, self._resume, None)
 
+    def pause(self) -> None:
+        """Freeze the process: resumes that would fire while paused are
+        deferred (the triggering waitable keeps its value) and replayed
+        by :meth:`unpause`.  Used by the node lifecycle manager to halt
+        a crashed node's workers without tearing down their
+        continuations."""
+        self._paused = True
+
+    def unpause(self) -> None:
+        """Thaw the process, rescheduling any resume deferred while it
+        was paused at the current simulated time."""
+        self._paused = False
+        deferred, self._deferred = self._deferred, None
+        if deferred:
+            for waited in deferred:
+                self.sim.schedule(0.0, self._resume, waited)
+
     def _resume(self, waited: Optional[Event]) -> None:
+        if self._paused:
+            if self._deferred is None:
+                self._deferred = []
+            self._deferred.append(waited)
+            return
         value = waited.value if isinstance(waited, Event) else None
         try:
             target = self.generator.send(value)

@@ -144,3 +144,103 @@ def test_stall_slows_the_stalled_node():
         clean.elapsed_cycles + stall_cycles)
     assert machine.faults.stalls == 1
     assert machine.faults.stall_cycles == pytest.approx(stall_cycles)
+
+
+# -- crash plan (node lifecycle tier) ----------------------------------
+
+CRASH_DRAW = dict(crash_mttf_us=30_000.0, crash_mttr_us=8_000.0,
+                  crash_horizon_us=300_000.0)
+
+
+def test_crash_plan_same_seed_identical():
+    a = make_injector(**CRASH_DRAW).crash_plan
+    b = make_injector(**CRASH_DRAW).crash_plan
+    assert a == b
+    assert a, "horizon of 10 MTTFs should draw at least one crash"
+    assert list(a) == sorted(a, key=lambda ev: (ev.at_us, ev.proc))
+
+
+def test_crash_plan_independent_of_message_faults():
+    """Enabling packet faults must not move the crash instants: the
+    crash plan pre-draws from its own substreams."""
+    alone = make_injector(**CRASH_DRAW).crash_plan
+    mixed = make_injector(drop_prob=0.2, dup_prob=0.3,
+                          reorder_prob=0.3, **CRASH_DRAW).crash_plan
+    assert alone == mixed
+
+
+def test_crash_plan_does_not_perturb_message_faults():
+    drops_alone = [d is not None and d.drop
+                   for d in decisions(make_injector(drop_prob=0.2))]
+    drops_with_crashes = [
+        d is not None and d.drop
+        for d in decisions(make_injector(drop_prob=0.2, **CRASH_DRAW))]
+    assert drops_alone == drops_with_crashes
+
+
+def test_mttr_toggle_keeps_first_crash_instants():
+    """Switching crash-recover to crash-stop consumes the same draws,
+    so each node's *first* crash time is unchanged (after the first,
+    a crash-stop node is dead and draws no more)."""
+    recover = make_injector(**CRASH_DRAW).crash_plan
+    stop = make_injector(crash_mttf_us=30_000.0, crash_mttr_us=0.0,
+                         crash_horizon_us=300_000.0).crash_plan
+    first_recover = {}
+    for ev in recover:
+        first_recover.setdefault(ev.proc, ev.at_us)
+    assert all(ev.down_us is None for ev in stop)
+    procs = [ev.proc for ev in stop]
+    assert len(procs) == len(set(procs))  # at most one crash per node
+    for ev in stop:
+        assert ev.at_us == first_recover[ev.proc]
+
+
+def test_crash_plan_outages_never_overlap_per_node():
+    plan = make_injector(crash_mttf_us=5_000.0, crash_mttr_us=20_000.0,
+                         crash_horizon_us=400_000.0).crash_plan
+    by_proc = {}
+    for ev in plan:
+        by_proc.setdefault(ev.proc, []).append(ev)
+    assert sum(len(v) > 1 for v in by_proc.values()), \
+        "MTTF << MTTR must draw repeated crashes somewhere"
+    for events in by_proc.values():
+        for prev, nxt in zip(events, events[1:]):
+            assert nxt.at_us > prev.at_us + prev.down_us
+
+
+def test_explicit_and_drawn_crashes_merge():
+    from repro.core.config import CrashSpec
+    from repro.faults import CrashEvent
+    explicit = CrashSpec(proc=1, at_us=5.0, down_us=10.0)
+    plan = make_injector(crashes=(explicit,), **CRASH_DRAW).crash_plan
+    assert CrashEvent(1, 5.0, 10.0) in plan
+    assert len(plan) > 1
+
+
+def test_crash_config_validation():
+    from repro.core.config import CrashSpec
+    with pytest.raises(ValueError):
+        FaultConfig(crash_mttf_us=10_000.0)  # horizon required
+    with pytest.raises(ValueError):
+        CrashSpec(proc=0, at_us=0.0)  # workers spawn at t=0
+    with pytest.raises(ValueError):
+        CrashSpec(proc=0, at_us=10.0, down_us=0.0)
+    with pytest.raises(ValueError):
+        # Explicit crash processor out of the machine's range.
+        make_injector(crashes=(CrashSpec(proc=9, at_us=10.0),))
+    assert FaultConfig(
+        crashes=(CrashSpec(proc=0, at_us=10.0),)).crash_enabled
+    assert FaultConfig(**CRASH_DRAW).crash_enabled
+    assert not FaultConfig().crash_enabled
+
+
+def test_crash_spec_survives_config_round_trip():
+    from repro.core.config import CrashSpec
+    config = MachineConfig(
+        nprocs=4,
+        faults=FaultConfig(crashes=(CrashSpec(proc=1, at_us=50.0,
+                                              down_us=100.0),),
+                           **CRASH_DRAW))
+    rebuilt = MachineConfig.from_dict(config.to_dict())
+    assert rebuilt.faults.crashes == config.faults.crashes
+    assert rebuilt.faults.crash_mttf_us == config.faults.crash_mttf_us

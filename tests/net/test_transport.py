@@ -189,3 +189,51 @@ def test_transport_counts_wire_packets_not_protocol_messages():
     # original + retransmit + final pure ack
     assert sent == 3
     assert received == 2  # the dropped copy never arrived
+
+
+def test_rto_backoff_is_capped_by_absolute_maximum():
+    """A long-dead peer must not drive the retransmit interval
+    unbounded: after the exponential ramp, every probe interval stays
+    at or below ``rto_max_us`` (plus jitter)."""
+    from repro.core.config import TransportConfig
+    sim = Simulator()
+    config = MachineConfig(
+        nprocs=2, network=NetworkConfig.ideal(),
+        transport=TransportConfig(rto_us=1_000.0, rto_max_us=4_000.0))
+    net = build_network(sim, config)
+    net.attach_faults(ScriptedFaults([Decision(drop=True)] * 10))
+    delivered = []
+    obs = Observability()
+    transport = ReliableTransport(sim, config, net, delivered.append,
+                                  obs=obs)
+    net.attach(transport.on_network_delivery)
+    transport.send(msg())
+    fires = []
+    original = ReliableTransport._on_timeout
+
+    def spy(self, stream, timer):
+        fires.append(sim.now)
+        original(self, stream, timer)
+
+    ReliableTransport._on_timeout = spy
+    try:
+        sim.run()
+    finally:
+        ReliableTransport._on_timeout = original
+    assert delivered  # the 11th attempt finally got through
+    gaps = [b - a for a, b in zip(fires, fires[1:])]
+    cap = (config.us_to_cycles(config.transport.rto_max_us)
+           * (1.0 + config.transport.jitter_frac))
+    assert max(gaps) <= cap * 1.0001
+    # The ramp really hit the ceiling: without the cap, ten doublings
+    # of a 1 ms base would dwarf it.
+    assert sum(1 for g in gaps if g > cap / 4) >= 3
+    # Probes at the cap are the peer-death suspicion signal.
+    assert obs.registry.total(
+        "transport.peer_down_timeouts_total") > 0
+
+
+def test_transport_config_validates_rto_max():
+    from repro.core.config import TransportConfig
+    with pytest.raises(ValueError):
+        TransportConfig(rto_us=10_000.0, rto_max_us=1_000.0)

@@ -93,3 +93,47 @@ def test_different_fault_seed_changes_the_plan():
     # produce identical drop sets *and* identical counts — if this
     # ever flakes, the seeds are not actually feeding the streams).
     assert runs[1] != runs[2] or runs[1] > 0
+
+
+# -- node crash tier ----------------------------------------------------
+
+def test_conservation_invariant_extends_to_crash_runs():
+    """With a node down past the RTO, packets die at its dead NIC:
+    ``received + drops + crash_dropped == sent + duplicates``, and
+    the protocol layer still sees every unique message exactly once."""
+    from repro.core.config import CrashSpec
+    faults = FaultConfig(
+        drop_prob=0.02,
+        crashes=(CrashSpec(proc=2, at_us=300.0, down_us=80_000.0),))
+    config = MachineConfig(nprocs=4, network=NetworkConfig.ethernet(),
+                           faults=faults)
+    machine, result = _run_drained(config)
+    registry = result.registry
+    sent = registry.total("transport.packets_sent_total")
+    received = registry.total("transport.packets_received_total")
+    drops = registry.total("faults.drops_total")
+    duplicates = registry.total("faults.duplicates_total")
+    crash_dropped = registry.total(
+        "faults.crash_dropped_packets_total")
+    assert crash_dropped > 0
+    assert received + drops + crash_dropped == sent + duplicates
+    assert registry.total("transport.delivered_total") == \
+        registry.total("transport.data_packets_total")
+    assert registry.total("faults.recoveries_total") == 1
+
+
+def test_crash_plan_runs_are_deterministic():
+    """A drawn (MTTF/MTTR) crash plan composed with packet loss is a
+    pure function of the seed: byte-identical metrics dumps."""
+    config = MachineConfig(
+        nprocs=4, network=NetworkConfig.ethernet(),
+        faults=FaultConfig(drop_prob=0.01, crash_mttf_us=30_000.0,
+                           crash_mttr_us=5_000.0,
+                           crash_horizon_us=100_000.0))
+    first = run_app(create_app("jacobi", n=24, iterations=3), config,
+                    protocol="lh")
+    second = run_app(create_app("jacobi", n=24, iterations=3), config,
+                     protocol="lh")
+    assert first.registry.total("faults.crashes_total") > 0
+    assert first.elapsed_cycles == second.elapsed_cycles
+    assert first.registry.as_json() == second.registry.as_json()

@@ -325,3 +325,38 @@ def test_determinism_same_program_same_times():
         return trace
 
     assert build() == build()
+
+
+def test_process_pause_defers_resumes_until_unpause():
+    """A paused process (a crashed node's frozen worker) banks every
+    resume that lands during the freeze and replays them, in order,
+    when unpaused — the continuation itself never observes the gap."""
+    sim = Simulator()
+    log = []
+
+    def worker():
+        yield 10
+        log.append(("a", sim.now))
+        yield 10
+        log.append(("b", sim.now))
+
+    process = sim.spawn(worker())
+    sim.schedule(5, process.pause)     # freeze before the t=10 resume
+    sim.schedule(50, process.unpause)  # thaw: deferred resume replays
+    sim.run()
+    assert log == [("a", 50), ("b", 60)]
+
+
+def test_process_unpause_without_deferred_resumes_is_harmless():
+    sim = Simulator()
+    log = []
+
+    def worker():
+        yield 100
+        log.append(sim.now)
+
+    process = sim.spawn(worker())
+    sim.schedule(5, process.pause)
+    sim.schedule(6, process.unpause)   # nothing was deferred yet
+    sim.run()
+    assert log == [100]
