@@ -11,9 +11,11 @@ Methodology (docs/performance.md): serial and parallel rounds are
 *interleaved* and the best of each is compared, so multi-second slow
 epochs on a shared machine hit both strategies instead of whichever
 ran second.  The worker count is the requested ``jobs`` clamped to
-the machine's CPUs (``Lab.effective_jobs``), so the pool never loses
-to serial by oversubscribing a small container; CI gates
-``parallel_speedup > 1.0``.
+twice the CPUs actually available to this process
+(``Lab.effective_jobs`` over ``available_cpus()`` — affinity mask and
+cgroup quota, not the host's core count), so the pool neither loses
+to serial by oversubscribing a small container nor serializes on a
+quota-limited runner; CI gates ``parallel_speedup > 1.0``.
 """
 
 import json

@@ -1,13 +1,16 @@
-"""The paper's application suite: Jacobi, TSP, Water, Cholesky."""
+"""The paper's application suite (Jacobi, TSP, Water, Cholesky) plus
+the open-loop serving workload (KvStore, see docs/serving.md)."""
 
-from repro.apps.base import Application, block_range
+from repro.apps.base import (Application, EventDrivenApplication,
+                             block_range)
 from repro.apps.cholesky import Cholesky
 from repro.apps.jacobi import Jacobi
+from repro.apps.kvstore import KvStore
 from repro.apps.registry import APP_NAMES, create_app
 from repro.apps.tsp import Tsp
 from repro.apps.water import Water
 
 __all__ = [
-    "APP_NAMES", "Application", "Cholesky", "Jacobi", "Tsp", "Water",
-    "block_range", "create_app",
+    "APP_NAMES", "Application", "Cholesky", "EventDrivenApplication",
+    "Jacobi", "KvStore", "Tsp", "Water", "block_range", "create_app",
 ]

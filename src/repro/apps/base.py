@@ -45,6 +45,83 @@ class Application(ABC):
         return True
 
 
+class EventDrivenApplication(Application):
+    """A workload driven by timed request arrivals, not loops.
+
+    The paper's kernels own the clock: they compute until done.  A
+    *service* does not — requests arrive at scheduled simulated times
+    (open loop: arrivals never wait for completions), so the worker
+    here is a pump, written once: sleep until the next scheduled
+    arrival, serve it through the DSM, account its latency against
+    the *scheduled* time so queueing delay is charged to the tail.
+
+    Subclasses implement :meth:`schedule` (the per-node request list,
+    ascending by arrival) and :meth:`handle_request` (a generator:
+    the DSM work one request does).  The existing loop-structured
+    apps are untouched — this is a sibling, not a rewrite, which is
+    what keeps the 18 golden dumps byte-identical.
+    """
+
+    #: Serve metrics (serve.*) are bound lazily per worker; apps that
+    #: never install the catalogue simply skip emission.
+    @abstractmethod
+    def schedule(self, proc: int, shared):
+        """This node's requests, ascending by ``arrival_us``.  Each
+        entry needs ``req_id``/``key``/``op``/``arrival_us``
+        attributes (:class:`repro.serve.workload.Request`)."""
+
+    @abstractmethod
+    def handle_request(self, api: DsmApi, proc: int, shared,
+                       request) -> Generator:
+        """Serve one request through the DSM (a generator)."""
+
+    def epilogue(self, api: DsmApi, proc: int, shared) -> Generator:
+        """Runs after this node's last request (default: nothing).
+        Use it for verification reads that must see peers' writes."""
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    def worker(self, api: DsmApi, proc: int, shared) -> Generator:
+        """The pump: wait for each arrival, serve it, account it."""
+        config = api.config
+        registry = api._node.machine.obs.registry
+        if "serve.requests_total" in registry:
+            requests_total = registry.get("serve.requests_total")
+            latency_hist = registry.get(
+                "serve.request_latency_cycles").labels()
+            queue_hist = registry.get(
+                "serve.queue_wait_cycles").labels()
+        else:
+            requests_total = latency_hist = queue_hist = None
+        records = []
+        for request in self.schedule(proc, shared):
+            arrival = config.us_to_cycles(request.arrival_us)
+            if arrival > api.now:
+                yield arrival - api.now
+            started = api.now
+            tracer = api.tracer
+            if tracer:
+                tracer.emit("req.arrive", req=request.req_id,
+                            node=proc, key=request.key,
+                            op=request.op, arrival=arrival)
+            yield from self.handle_request(api, proc, shared, request)
+            done = api.now
+            latency = done - arrival
+            if tracer:
+                tracer.emit("req.done", req=request.req_id,
+                            node=proc, key=request.key,
+                            op=request.op, latency_cycles=latency)
+            if requests_total is not None:
+                requests_total.labels(op=request.op).inc()
+                latency_hist.observe(latency)
+                queue_hist.observe(started - arrival)
+            records.append([request.req_id, request.key,
+                            1 if request.op == "put" else 0,
+                            arrival, started, done])
+        yield from self.epilogue(api, proc, shared)
+        return {"proc": proc, "requests": records}
+
+
 def block_range(total: int, nprocs: int, proc: int) -> range:
     """Contiguous block partition of ``range(total)`` (last block may
     be short)."""

@@ -32,6 +32,12 @@ from repro.core.metrics import RunResult
 from repro.core.runner import run_app
 from repro.lab import DEFAULT_CACHE_DIR, Lab, RunSpec
 from repro.protocols import PROTOCOL_NAMES
+from repro.serve.workload import SERVE_APP_PARAMS
+
+#: Apps the CLI accepts: the paper suite plus the serving workload
+#: (kept out of APP_NAMES so report/experiment drivers that iterate
+#: the paper suite never pick it up).
+CLI_APP_CHOICES = APP_NAMES + ["kvstore"]
 
 
 def _network(args) -> NetworkConfig:
@@ -42,9 +48,16 @@ def _network(args) -> NetworkConfig:
     return NetworkConfig.ideal()
 
 
+def _app_params(args) -> dict:
+    """Scaled parameters for the selected app (the serving workload
+    scales through its own table, see repro.serve.workload)."""
+    if args.app == "kvstore":
+        return dict(SERVE_APP_PARAMS[args.scale])
+    return dict(APP_PARAMS[args.scale][args.app])
+
+
 def _app(args):
-    params = dict(APP_PARAMS[args.scale][args.app])
-    return create_app(args.app, **params)
+    return create_app(args.app, **_app_params(args))
 
 
 def _probability(text: str) -> float:
@@ -73,6 +86,48 @@ def _nonnegative_us(text: str) -> float:
     if value < 0:
         raise argparse.ArgumentTypeError(
             f"microseconds must be non-negative, got {value}")
+    return value
+
+
+def _positive_rate(text: str) -> float:
+    """Argparse type for offered load: requests/second, strictly
+    positive (an open-loop generator with no arrivals is a mistake,
+    not a workload)."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected requests/second, got {text!r}")
+    if not value > 0:
+        raise argparse.ArgumentTypeError(
+            f"arrival rate must be > 0 requests/s, got {value}")
+    return value
+
+
+def _unit_fraction(text: str) -> float:
+    """Argparse type for mix fractions: a float in [0.0, 1.0]
+    (inclusive — an all-read or all-write mix is legitimate)."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a fraction, got {text!r}")
+    if not 0.0 <= value <= 1.0:
+        raise argparse.ArgumentTypeError(
+            f"fraction must be within [0, 1], got {value}")
+    return value
+
+
+def _zipf_exponent(text: str) -> float:
+    """Argparse type for the Zipf skew: >= 0 (0 = uniform keys)."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a Zipf exponent, got {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"Zipf exponent must be >= 0, got {value}")
     return value
 
 
@@ -152,7 +207,7 @@ def _lab(args) -> Lab:
 
 def _spec(args, nprocs: Optional[int] = None,
           protocol: Optional[str] = None) -> RunSpec:
-    return RunSpec(args.app, APP_PARAMS[args.scale][args.app],
+    return RunSpec(args.app, _app_params(args),
                    protocol=protocol or args.protocol,
                    config=_config(args, nprocs=nprocs))
 
@@ -160,7 +215,7 @@ def _spec(args, nprocs: Optional[int] = None,
 def _baseline_spec(args) -> RunSpec:
     """The 1-processor run used as the speedup denominator (matches
     :func:`repro.core.runner.sequential_baseline`)."""
-    return RunSpec(args.app, APP_PARAMS[args.scale][args.app],
+    return RunSpec(args.app, _app_params(args),
                    protocol="lh",
                    config=_config(args, nprocs=1))
 
@@ -326,7 +381,7 @@ def cmd_losssweep(args) -> int:
     with _lab(args) as lab:
         results = loss_sweep(config=_config(args), rates=rates,
                              protocols=protocols, app=args.app,
-                             app_params=APP_PARAMS[args.scale][args.app],
+                             app_params=_app_params(args),
                              lab=lab)
     print(format_loss_table(results))
     return 0
@@ -358,7 +413,7 @@ def cmd_crashsweep(args) -> int:
             networks.append((name, NetworkConfig.ideal()))
         else:
             raise SystemExit(f"unknown network {name!r}")
-    params = APP_PARAMS[args.scale][args.app]
+    params = _app_params(args)
     print(f"{args.app} on {args.procs} procs, "
           f"mttf {mttfs} µs, mttr {args.crash_mttr} µs, "
           f"horizon {args.crash_horizon} µs")
@@ -370,6 +425,149 @@ def cmd_crashsweep(args) -> int:
         horizon_us=args.crash_horizon, protocols=protocols,
         networks=networks, max_events=args.max_events)
     print(format_availability_table(results))
+    return 0
+
+
+def _serve_networks(args):
+    """Parse the ``--networks`` list shared by serve/servesweep."""
+    networks = []
+    for name in args.networks.split(","):
+        if name == "ethernet":
+            networks.append((name, NetworkConfig.ethernet()))
+        elif name == "atm":
+            networks.append((name, NetworkConfig.atm(args.bandwidth)))
+        elif name == "ideal":
+            networks.append((name, NetworkConfig.ideal()))
+        else:
+            raise SystemExit(f"unknown network {name!r}")
+    return networks
+
+
+def _serve_protocols(args):
+    protocols = args.protocols.split(",")
+    for protocol in protocols:
+        if protocol not in PROTOCOL_NAMES:
+            raise SystemExit(f"unknown protocol {protocol!r}")
+    return protocols
+
+
+def _serve_overrides(args) -> dict:
+    overrides = {"read_fraction": args.read_fraction,
+                 "zipf_s": args.zipf_s,
+                 "arrival": args.arrival}
+    if args.requests is not None:
+        if args.requests < 1:
+            raise SystemExit(
+                f"serve: need at least one request, "
+                f"got {args.requests}")
+        overrides["requests"] = args.requests
+    return overrides
+
+
+def _serve_config(args) -> MachineConfig:
+    """Machine config for serving runs: the network comes from
+    ``--networks`` per cell, everything else (faults included — the
+    capacity question composes loss and crash plans) from the shared
+    flags.  Crash-stop plans never drain, so they are rejected here:
+    serving cells run on the lab's cached path, which has no event
+    budget."""
+    faults = _faults(args)
+    if faults.crash_mttf_us and not faults.crash_mttr_us:
+        raise SystemExit(
+            "serve: --crash-mttf needs --crash-mttr > 0 "
+            "(crash-stop runs never finish serving; use crashsweep "
+            "for crash-stop availability)")
+    if any(crash.down_us is None for crash in faults.crashes):
+        raise SystemExit(
+            "serve: --crash needs a DOWN_US (crash-stop runs never "
+            "finish serving; use crashsweep for crash-stop "
+            "availability)")
+    return MachineConfig(nprocs=args.procs, cpu_mhz=args.mhz,
+                         page_size=args.page_size, faults=faults)
+
+
+def cmd_serve(args) -> int:
+    """Serve the kvstore workload open-loop at one offered load:
+    throughput and p50/p99/p999 latency per (protocol, network), with
+    optional critical-path attribution of the slowest requests
+    (docs/serving.md)."""
+    from repro.analysis.serving import (attribute_tail,
+                                        format_attribution_table,
+                                        format_serving_table,
+                                        serving_grid)
+
+    protocols = _serve_protocols(args)
+    networks = _serve_networks(args)
+    config = _serve_config(args)
+    print(f"kvstore open-loop at {args.rate:.0f} req/s on "
+          f"{args.procs} procs (scale {args.scale}, "
+          f"read fraction {args.read_fraction}, "
+          f"zipf {args.zipf_s}, SLO {args.slo_us:.0f} µs)")
+    with _lab(args) as lab:
+        reports = serving_grid(
+            rate_rps=args.rate, protocols=protocols,
+            networks=networks, scale=args.scale, config=config,
+            slo_us=args.slo_us, overrides=_serve_overrides(args),
+            lab=lab)
+    print(format_serving_table(reports))
+    if args.tail:
+        from repro.obs import (CausalTrace, MemorySink, Observability,
+                               Tracer)
+        from repro.serve.workload import SERVE_APP_PARAMS
+
+        # Tracing is a side effect, so the tail run executes
+        # in-process (first protocol x first network cell).
+        protocol, (net_name, network) = protocols[0], networks[0]
+        params = dict(SERVE_APP_PARAMS[args.scale])
+        params.update(_serve_overrides(args))
+        params["rate_rps"] = args.rate
+        sink = MemorySink()
+        obs = Observability(tracer=Tracer(sink))
+        run_app(create_app("kvstore", **params),
+                config.replace(network=network),
+                protocol=protocol, obs=obs)
+        print(f"\nslowest {args.tail} requests "
+              f"({protocol}/{net_name}, cycles):")
+        print(format_attribution_table(
+            attribute_tail(CausalTrace(sink.events), top=args.tail)))
+    return 0
+
+
+def cmd_servesweep(args) -> int:
+    """Capacity-planning sweep: SLO attainment and tail latency vs
+    offered load for every (protocol, network) cell, through the
+    shared lab (parallel + cached).  ``--out`` saves the curves as
+    JSON (docs/serving.md)."""
+    from repro.analysis.serving import (capacity_sweep,
+                                        format_serving_table,
+                                        sweep_to_json)
+
+    try:
+        rates = [_positive_rate(r) for r in args.rates.split(",")]
+    except argparse.ArgumentTypeError as exc:
+        raise SystemExit(f"servesweep: {exc}")
+    protocols = _serve_protocols(args)
+    networks = _serve_networks(args)
+    config = _serve_config(args)
+    print(f"kvstore capacity sweep, rates {rates} req/s on "
+          f"{args.procs} procs (scale {args.scale}, "
+          f"SLO {args.slo_us:.0f} µs)")
+    with _lab(args) as lab:
+        curves = capacity_sweep(
+            rates_rps=rates, protocols=protocols, networks=networks,
+            scale=args.scale, config=config, slo_us=args.slo_us,
+            overrides=_serve_overrides(args), lab=lab)
+        stats_line = lab.format_stats()
+    for (protocol, net_name), reports in curves.items():
+        print(f"\n{protocol}/{net_name}:")
+        print(format_serving_table(reports))
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(sweep_to_json(curves), handle, indent=2,
+                      sort_keys=True)
+            handle.write("\n")
+        print(f"\nwrote {args.out}")
+    print(stats_line)
     return 0
 
 
@@ -488,10 +686,11 @@ def build_parser() -> argparse.ArgumentParser:
     def common(p, with_app=True, app_optional=False):
         if with_app:
             if app_optional:
-                p.add_argument("app", nargs="?", choices=APP_NAMES,
+                p.add_argument("app", nargs="?",
+                               choices=CLI_APP_CHOICES,
                                default=None)
             else:
-                p.add_argument("app", choices=APP_NAMES)
+                p.add_argument("app", choices=CLI_APP_CHOICES)
         p.add_argument("--procs", type=int, default=8)
         p.add_argument("--protocol", choices=PROTOCOL_NAMES,
                        default="lh")
@@ -615,6 +814,56 @@ def build_parser() -> argparse.ArgumentParser:
                               "cells never drain on their own)")
     p_crash.set_defaults(func=cmd_crashsweep, procs=4, scale="small",
                          crash_mttr=5_000.0, crash_horizon=100_000.0)
+
+    def serve_flags(p):
+        p.add_argument("--protocols", default="li,lh",
+                       help="comma-separated protocol subset "
+                            "(default: li,lh)")
+        p.add_argument("--networks", default="ethernet,atm",
+                       help="comma-separated networks "
+                            "(default: ethernet,atm)")
+        p.add_argument("--read-fraction", type=_unit_fraction,
+                       default=0.9, dest="read_fraction",
+                       metavar="FRAC",
+                       help="fraction of requests that are gets, "
+                            "in [0, 1] (default: 0.9)")
+        p.add_argument("--zipf-s", type=_zipf_exponent, default=0.99,
+                       dest="zipf_s", metavar="S",
+                       help="Zipf key-popularity exponent >= 0 "
+                            "(0 = uniform; default: 0.99)")
+        p.add_argument("--requests", type=int, default=None,
+                       help="override the scaled request count")
+        p.add_argument("--arrival", choices=["poisson", "fixed"],
+                       default="poisson",
+                       help="inter-arrival process (default: "
+                            "poisson)")
+        p.add_argument("--slo-us", type=_nonnegative_us,
+                       default=500.0, dest="slo_us", metavar="US",
+                       help="latency SLO for attainment reporting "
+                            "(default: 500 µs)")
+
+    p_serve = sub.add_parser("serve", help=cmd_serve.__doc__)
+    common(p_serve, with_app=False)
+    serve_flags(p_serve)
+    p_serve.add_argument("--rate", type=_positive_rate,
+                         default=40_000.0, metavar="RPS",
+                         help="offered load in requests/second "
+                              "(> 0; default: 40000)")
+    p_serve.add_argument("--tail", type=int, default=0, metavar="N",
+                         help="also trace one cell in-process and "
+                              "attribute the N slowest requests")
+    p_serve.set_defaults(func=cmd_serve, procs=4, scale="small")
+
+    p_ssweep = sub.add_parser("servesweep",
+                              help=cmd_servesweep.__doc__)
+    common(p_ssweep, with_app=False)
+    serve_flags(p_ssweep)
+    p_ssweep.add_argument("--rates", default="10000,20000,40000,80000",
+                          help="comma-separated offered loads in "
+                               "requests/second (each > 0)")
+    p_ssweep.add_argument("--out", default=None, metavar="FILE",
+                          help="save the sweep curves as JSON")
+    p_ssweep.set_defaults(func=cmd_servesweep, procs=4, scale="small")
 
     p_trace = sub.add_parser(
         "trace",

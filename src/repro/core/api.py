@@ -185,3 +185,13 @@ class DsmApi:
     @property
     def now(self) -> float:
         return self._node.sim.now
+
+    @property
+    def config(self):
+        """The machine configuration (cycle conversions, seed)."""
+        return self._node.config
+
+    @property
+    def tracer(self):
+        """The run's tracer; truth-test before emitting."""
+        return self._node.tracer

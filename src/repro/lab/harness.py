@@ -38,6 +38,79 @@ from repro.obs import MetricsRegistry, install_lab
 #: Default on-disk cache location (CLI ``--cache-dir`` default).
 DEFAULT_CACHE_DIR = ".repro-cache"
 
+#: cgroup CPU-quota files (module constants so tests can point them
+#: at fixtures).  v2: ``max 100000`` or ``200000 100000``
+#: (quota period); v1: quota and period in separate files, quota -1
+#: when unlimited.
+_CGROUP_V2_CPU_MAX = "/sys/fs/cgroup/cpu.max"
+_CGROUP_V1_QUOTA = "/sys/fs/cgroup/cpu/cpu.cfs_quota_us"
+_CGROUP_V1_PERIOD = "/sys/fs/cgroup/cpu/cpu.cfs_period_us"
+
+
+def _read_first_line(path: str) -> Optional[str]:
+    try:
+        with open(path) as handle:
+            return handle.readline().strip()
+    except OSError:
+        return None
+
+
+def _cgroup_cpus() -> Optional[int]:
+    """CPUs allowed by the container's CPU quota, or None when
+    unlimited/undetectable.  Fractional quotas round up: a 1.5-CPU
+    container can keep two workers busy part-time."""
+    line = _read_first_line(_CGROUP_V2_CPU_MAX)
+    if line:
+        parts = line.split()
+        if len(parts) == 2 and parts[0] != "max":
+            try:
+                quota, period = float(parts[0]), float(parts[1])
+            except ValueError:
+                return None
+            if quota > 0 and period > 0:
+                return max(1, -(-int(quota) // int(period)))
+    quota_line = _read_first_line(_CGROUP_V1_QUOTA)
+    period_line = _read_first_line(_CGROUP_V1_PERIOD)
+    if quota_line and period_line:
+        try:
+            quota, period = float(quota_line), float(period_line)
+        except ValueError:
+            return None
+        if quota > 0 and period > 0:
+            return max(1, -(-int(quota) // int(period)))
+    return None
+
+
+def available_cpus() -> int:
+    """CPUs this process can actually use, not what the host has.
+
+    Resolution order: the ``REPRO_LAB_CPUS`` env override, then the
+    minimum of every signal that answers (scheduler affinity mask,
+    cgroup v2/v1 CPU quota, ``os.cpu_count()``).  Containers routinely
+    make ``os.cpu_count()`` wrong in both directions, which is how
+    BENCH_lab once reported ``effective_jobs: 1`` with a speedup of
+    1.0x on a multi-core runner."""
+    override = os.environ.get("REPRO_LAB_CPUS")
+    if override:
+        try:
+            return max(1, int(override))
+        except ValueError:
+            pass
+    signals = []
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is not None:
+        try:
+            signals.append(len(getaffinity(0)))
+        except OSError:
+            pass
+    quota = _cgroup_cpus()
+    if quota is not None:
+        signals.append(quota)
+    count = os.cpu_count()
+    if count:
+        signals.append(count)
+    return max(1, min(signals)) if signals else 1
+
 
 class LabError(RuntimeError):
     """One or more runs failed every allowed attempt."""
@@ -207,11 +280,17 @@ class Lab:
     @property
     def effective_jobs(self) -> int:
         """Worker count actually used: the requested ``jobs`` clamped
-        to the machine's CPU count.  Oversubscribing a small container
-        is how the pool ended up *slower* than serial."""
+        to twice the CPUs actually *available* (see
+        :func:`available_cpus`).  ``os.cpu_count()`` alone lied in
+        both directions — it reports the host's cores inside a
+        quota-limited container (oversubscribing a small container is
+        how the pool once ended up slower than serial) and, on some
+        runners, reported 1 while the cgroup quota allowed more,
+        silently serializing sweeps.  The 2x headroom covers workers
+        blocked on pickling/IPC/cache writes rather than simulating."""
         if self.jobs is None:
             return 1
-        return max(1, min(self.jobs, os.cpu_count() or 1))
+        return max(1, min(self.jobs, 2 * available_cpus()))
 
     def _version(self) -> str:
         if self._code_version is None:

@@ -15,9 +15,10 @@ from typing import Callable, Optional
 
 from repro.obs.catalog import (CATALOG, CATALOG_BY_NAME, LAB_CATALOG,
                                MEM_CATALOG, ROBUSTNESS_CATALOG,
-                               MetricSpec, SYNC_MSG_TYPES,
-                               install_catalog, install_lab,
-                               install_mem, install_robustness)
+                               SERVE_CATALOG, MetricSpec,
+                               SYNC_MSG_TYPES, install_catalog,
+                               install_lab, install_mem,
+                               install_robustness, install_serve)
 from repro.obs.registry import (DEFAULT_BUCKETS, Metric, MetricError,
                                 MetricsRegistry)
 from repro.obs.causal import CausalGraph, CausalTrace
@@ -33,11 +34,11 @@ __all__ = [
     "LAB_CATALOG", "MEM_CATALOG", "MemorySink", "Metric",
     "MetricError", "MetricSpec",
     "MetricsRegistry", "NodeInstruments", "NullSink", "Observability",
-    "ROBUSTNESS_CATALOG", "SYNC_MSG_TYPES", "Span", "TRACE_EVENTS",
-    "TraceEvent",
+    "ROBUSTNESS_CATALOG", "SERVE_CATALOG", "SYNC_MSG_TYPES", "Span",
+    "TRACE_EVENTS", "TraceEvent",
     "TraceSink", "Tracer", "chrome_trace", "install_catalog",
-    "install_lab", "install_mem", "install_robustness", "read_jsonl",
-    "validate_chrome_trace",
+    "install_lab", "install_mem", "install_robustness",
+    "install_serve", "read_jsonl", "validate_chrome_trace",
 ]
 
 

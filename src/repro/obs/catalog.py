@@ -286,10 +286,29 @@ MEM_CATALOG: Tuple[MetricSpec, ...] = (
           "Page copies created or refreshed in a node's page table."),
 )
 
+#: Metrics of the serving workload (:mod:`repro.serve`, see
+#: docs/serving.md).  Opt-in like the robustness catalogue: installed
+#: by the kvstore app's ``setup``, never by default, so the four
+#: paper kernels' stats dumps stay bit-for-bit unchanged.
+SERVE_CATALOG: Tuple[MetricSpec, ...] = (
+    _spec("serve.requests_total", COUNTER, "requests",
+          "Serving requests completed, by operation.",
+          labels=("op",), consumers=("serving sweep",)),
+    _spec("serve.request_latency_cycles", HISTOGRAM, "cycles",
+          "Scheduled-arrival-to-completion latency per request "
+          "(queue wait included — the open-loop number SLOs are "
+          "written against).",
+          consumers=("serving sweep",)),
+    _spec("serve.queue_wait_cycles", HISTOGRAM, "cycles",
+          "Cycles each request sat scheduled-but-unserved while its "
+          "node worked off earlier arrivals.",
+          consumers=("serving sweep",)),
+)
+
 CATALOG_BY_NAME: Dict[str, MetricSpec] = {
     spec.name: spec
     for spec in CATALOG + ROBUSTNESS_CATALOG + LAB_CATALOG
-    + MEM_CATALOG}
+    + MEM_CATALOG + SERVE_CATALOG}
 
 #: ``dsm.messages_total`` msg_type label values that count as
 #: synchronization traffic (mirrors ``MsgKind.is_synchronization``).
@@ -334,6 +353,14 @@ def install_lab(registry) -> None:
 MEM_RUN_BUCKETS: Tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64)
 MEM_BYTE_BUCKETS: Tuple[float, ...] = (
     64, 256, 1024, 4096, 16384, 65536)
+
+
+def install_serve(registry) -> None:
+    """Instantiate the serving metrics.  Called by the kvstore app's
+    ``setup`` (idempotently), never by default — see the
+    :data:`SERVE_CATALOG` note."""
+    for spec in SERVE_CATALOG:
+        registry.from_spec(spec)
 
 
 def install_mem(registry) -> None:

@@ -53,6 +53,26 @@ class MessageRecord:
 
 
 @dataclass
+class RequestRecord:
+    """One serving request's span (``req.arrive`` -> ``req.done``)."""
+
+    req_id: int
+    node: int = -1
+    key: int = -1
+    op: str = ""
+    arrival: Optional[float] = None   # scheduled arrival (cycles)
+    start_ts: Optional[float] = None  # dequeued by the worker
+    done_ts: Optional[float] = None
+    latency: float = 0.0              # done - scheduled arrival
+
+    @property
+    def queue_wait(self) -> float:
+        if self.start_ts is None or self.arrival is None:
+            return 0.0
+        return self.start_ts - self.arrival
+
+
+@dataclass
 class WakeRecord:
     """A blocked application process was released."""
 
@@ -128,6 +148,8 @@ class CausalTrace:
         self.seals: Dict[int, List[Tuple[float, float]]] = {}
         #: worker finish times by processor
         self.finish: Dict[int, float] = {}
+        #: serving-request spans by request id (``req.*`` events)
+        self.requests: Dict[int, RequestRecord] = {}
         self._index()
 
     @classmethod
@@ -141,6 +163,13 @@ class CausalTrace:
         if record is None:
             record = MessageRecord(msg_id=msg_id)
             self.messages[msg_id] = record
+        return record
+
+    def _request(self, req_id: int) -> RequestRecord:
+        record = self.requests.get(req_id)
+        if record is None:
+            record = RequestRecord(req_id=req_id)
+            self.requests[req_id] = record
         return record
 
     def _index(self) -> None:
@@ -202,6 +231,23 @@ class CausalTrace:
                     continue
                 self.seals.setdefault(node, []).append(
                     (event.ts, fields.get("cost", 0.0)))
+            elif name == "req.arrive":
+                req_id = fields.get("req")
+                if req_id is None:
+                    continue
+                record = self._request(req_id)
+                record.node = fields.get("node", -1)
+                record.key = fields.get("key", -1)
+                record.op = fields.get("op", "")
+                record.arrival = fields.get("arrival")
+                record.start_ts = event.ts
+            elif name == "req.done":
+                req_id = fields.get("req")
+                if req_id is None:
+                    continue
+                record = self._request(req_id)
+                record.done_ts = event.ts
+                record.latency = fields.get("latency_cycles", 0.0)
             elif name == "sim.process_done":
                 match = _WORKER.match(fields.get("process", ""))
                 if match:

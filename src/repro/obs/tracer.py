@@ -95,6 +95,13 @@ TRACE_EVENTS: Dict[str, str] = {
     "node.recover":
         "a crashed node restored its checkpoint and rejoined (node, "
         "outage_cycles, replayed)",
+    "req.arrive":
+        "a serving request was dequeued by its node's worker (req, "
+        "node, key, op, arrival=scheduled cycles; ts-arrival is "
+        "queue wait)",
+    "req.done":
+        "a serving request completed (req, node, key, op, "
+        "latency_cycles measured from the scheduled arrival)",
 }
 
 

@@ -1,0 +1,21 @@
+"""Open-loop serving workloads on the simulated DSM (docs/serving.md).
+
+The paper's kernels are closed loops: each processor computes, hits a
+barrier, repeats.  A *service* is open-loop — requests arrive on a
+clock the server does not control, so queueing delay compounds and the
+latency tail, not the mean, is what capacity planning cares about.
+This package generates those request streams; the DSM side lives in
+:mod:`repro.apps.kvstore` and the analysis in
+:mod:`repro.analysis.serving`.
+"""
+
+from repro.serve.workload import (ARRIVAL_MODES, SERVE_APP_PARAMS,
+                                  Request, generate_requests,
+                                  node_schedules, validate_workload,
+                                  zipf_cdf)
+
+__all__ = [
+    "ARRIVAL_MODES", "Request", "SERVE_APP_PARAMS",
+    "generate_requests", "node_schedules", "validate_workload",
+    "zipf_cdf",
+]

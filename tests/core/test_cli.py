@@ -142,3 +142,72 @@ def test_cached_cli_run_is_identical(tmp_path, capsys):
     first = capsys.readouterr().out
     assert main(args) == 0                 # served from the cache
     assert capsys.readouterr().out == first
+
+
+def test_serve_command_reports_percentiles(capsys):
+    assert main(["serve", "--requests", "40", "--rate", "30000",
+                 "--protocols", "li,lh", "--networks", "ethernet,atm",
+                 "--no-cache"]) == 0
+    out = capsys.readouterr().out
+    assert "p50us" in out and "p99us" in out and "p999us" in out
+    for cell in ("li", "lh", "ethernet", "atm"):
+        assert cell in out
+
+
+def test_serve_tail_attribution(capsys):
+    assert main(["serve", "--requests", "30", "--rate", "30000",
+                 "--protocols", "lh", "--networks", "atm",
+                 "--tail", "3", "--no-cache"]) == 0
+    out = capsys.readouterr().out
+    assert "slowest 3 requests" in out
+    assert "queue" in out and "contend" in out
+
+
+def test_servesweep_writes_artifact(tmp_path, capsys):
+    out_file = tmp_path / "sweep.json"
+    assert main(["servesweep", "--requests", "30",
+                 "--rates", "10000,40000", "--protocols", "lh",
+                 "--networks", "atm", "--out", str(out_file),
+                 "--no-cache"]) == 0
+    out = capsys.readouterr().out
+    assert "lh/atm" in out
+    import json as json_module
+    dump = json_module.loads(out_file.read_text())
+    assert len(dump["cells"][0]["points"]) == 2
+
+
+@pytest.mark.parametrize("flags", [
+    ["serve", "--rate", "0"],
+    ["serve", "--rate", "-100"],
+    ["serve", "--rate", "fast"],
+    ["serve", "--read-fraction", "1.5"],
+    ["serve", "--read-fraction", "-0.1"],
+    ["serve", "--zipf-s", "-0.5"],
+    ["serve", "--slo-us", "-1"],
+    ["serve", "--arrival", "bursty"],
+    ["servesweep", "--read-fraction", "2"],
+    ["servesweep", "--zipf-s", "-1"],
+])
+def test_serve_flag_validation(flags):
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(flags)
+
+
+@pytest.mark.parametrize("argv,message", [
+    (["servesweep", "--rates", "10000,0"], "arrival rate"),
+    (["serve", "--protocols", "li,bogus"], "unknown protocol"),
+    (["serve", "--networks", "token-ring"], "unknown network"),
+    (["serve", "--requests", "0"], "at least one request"),
+    (["serve", "--crash-mttf", "50000", "--crash-horizon", "100000"],
+     "crash-stop"),
+    (["serve", "--crash", "0:5000"], "crash-stop"),
+])
+def test_serve_rejects_unrunnable_cells(argv, message):
+    with pytest.raises(SystemExit, match=message):
+        main(argv)
+
+
+def test_run_and_stats_accept_kvstore(capsys):
+    assert main(["run", "kvstore", "--procs", "2", "--scale",
+                 "small", "--no-cache"]) == 0
+    assert "kvstore/lh on 2 procs" in capsys.readouterr().out

@@ -57,13 +57,13 @@ def test_doc_files_found():
 
 def test_observability_doc_catalogues_every_metric():
     from repro.obs import (CATALOG, LAB_CATALOG, MEM_CATALOG,
-                           ROBUSTNESS_CATALOG)
+                           ROBUSTNESS_CATALOG, SERVE_CATALOG)
 
     text = (REPO_ROOT / "docs" / "observability.md").read_text()
     undocumented = [
         spec.name
         for spec in (CATALOG + ROBUSTNESS_CATALOG + LAB_CATALOG
-                     + MEM_CATALOG)
+                     + MEM_CATALOG + SERVE_CATALOG)
         if spec.name not in text]
     assert not undocumented, (
         "metrics missing from docs/observability.md: "

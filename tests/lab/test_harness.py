@@ -156,3 +156,67 @@ def test_constructor_validation():
         Lab(jobs=0)
     with pytest.raises(ValueError):
         Lab(retries=-1)
+
+
+# -- CPU detection (effective_jobs clamp) ---------------------------------
+
+
+def test_available_cpus_env_override(monkeypatch):
+    from repro.lab import harness
+    monkeypatch.setenv("REPRO_LAB_CPUS", "6")
+    assert harness.available_cpus() == 6
+    monkeypatch.setenv("REPRO_LAB_CPUS", "0")
+    assert harness.available_cpus() == 1     # clamped to >= 1
+    monkeypatch.setenv("REPRO_LAB_CPUS", "lots")
+    assert harness.available_cpus() >= 1     # garbage falls through
+
+
+def test_available_cpus_takes_min_of_signals(monkeypatch):
+    from repro.lab import harness
+    monkeypatch.delenv("REPRO_LAB_CPUS", raising=False)
+    monkeypatch.setattr(harness.os, "sched_getaffinity",
+                        lambda pid: set(range(8)), raising=False)
+    monkeypatch.setattr(harness.os, "cpu_count", lambda: 16)
+    monkeypatch.setattr(harness, "_cgroup_cpus", lambda: 2)
+    # The cgroup quota is the binding constraint, not the host count.
+    assert harness.available_cpus() == 2
+
+
+def test_cgroup_v2_quota_parsing(monkeypatch, tmp_path):
+    from repro.lab import harness
+    cpu_max = tmp_path / "cpu.max"
+    monkeypatch.setattr(harness, "_CGROUP_V2_CPU_MAX", str(cpu_max))
+    monkeypatch.setattr(harness, "_CGROUP_V1_QUOTA",
+                        str(tmp_path / "missing-quota"))
+    monkeypatch.setattr(harness, "_CGROUP_V1_PERIOD",
+                        str(tmp_path / "missing-period"))
+    cpu_max.write_text("max 100000\n")
+    assert harness._cgroup_cpus() is None      # unlimited
+    cpu_max.write_text("400000 100000\n")
+    assert harness._cgroup_cpus() == 4
+    cpu_max.write_text("150000 100000\n")
+    assert harness._cgroup_cpus() == 2         # 1.5 CPUs rounds up
+
+
+def test_cgroup_v1_quota_parsing(monkeypatch, tmp_path):
+    from repro.lab import harness
+    monkeypatch.setattr(harness, "_CGROUP_V2_CPU_MAX",
+                        str(tmp_path / "missing-cpu.max"))
+    quota = tmp_path / "cpu.cfs_quota_us"
+    period = tmp_path / "cpu.cfs_period_us"
+    monkeypatch.setattr(harness, "_CGROUP_V1_QUOTA", str(quota))
+    monkeypatch.setattr(harness, "_CGROUP_V1_PERIOD", str(period))
+    quota.write_text("-1\n")
+    period.write_text("100000\n")
+    assert harness._cgroup_cpus() is None      # unlimited
+    quota.write_text("300000\n")
+    assert harness._cgroup_cpus() == 3
+
+
+def test_effective_jobs_allows_bounded_oversubscription(monkeypatch):
+    from repro.lab import harness
+    monkeypatch.setattr(harness, "available_cpus", lambda: 2)
+    assert Lab(jobs=None).effective_jobs == 1    # serial stays serial
+    assert Lab(jobs=1).effective_jobs == 1
+    assert Lab(jobs=3).effective_jobs == 3       # within 2x headroom
+    assert Lab(jobs=16).effective_jobs == 4      # clamped at 2x CPUs

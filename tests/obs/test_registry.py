@@ -187,13 +187,18 @@ def test_install_catalog_registers_every_spec_idempotently():
     install_lab(registry)  # idempotent too
     for spec in LAB_CATALOG:
         assert registry.get(spec.name).spec is spec
-    # The memory-substrate tier (repro.mem.instrument) completes the
-    # catalogue.
+    # The memory-substrate tier (repro.mem.instrument).
     from repro.obs import MEM_CATALOG, install_mem
     install_mem(registry)
     install_mem(registry)  # idempotent too
-    assert set(registry.names()) == set(CATALOG_BY_NAME)
     for spec in MEM_CATALOG:
+        assert registry.get(spec.name).spec is spec
+    # The serving tier (repro.apps.kvstore) completes the catalogue.
+    from repro.obs import SERVE_CATALOG, install_serve
+    install_serve(registry)
+    install_serve(registry)  # idempotent too
+    assert set(registry.names()) == set(CATALOG_BY_NAME)
+    for spec in SERVE_CATALOG:
         assert registry.get(spec.name).spec is spec
 
 
