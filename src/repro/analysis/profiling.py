@@ -34,6 +34,61 @@ from repro.lab.spec import RunSpec, execute_spec
 SUBSYSTEMS = ("sim", "mem", "protocols", "net", "sync", "core",
               "apps", "obs", "lab", "analysis", "faults", "trace")
 
+#: Protocol-time buckets: host self-time inside ``repro.mem`` /
+#: ``repro.protocols`` split by *what kind* of consistency work it is.
+#: This is the axis the hot-path work steers by — is a slow run paying
+#: for interval bookkeeping (log maintenance, write-notice handling,
+#: GC), for diff machinery (creation, RDIF encode/decode, application,
+#: the diff store), or for vector-clock arithmetic?
+PROTOCOL_BUCKETS = ("interval-bookkeeping", "diff", "vector-clock",
+                    "protocol (other)")
+
+#: Functions in ``repro/mem/intervals.py`` that belong to the
+#: :class:`~repro.mem.intervals.DiffStore` (the file also holds the
+#: interval log; pstats keys carry no class name).
+_DIFFSTORE_FUNCS = frozenset({"put", "has", "key", "prune_intervals"})
+
+#: Function-name fragments that classify ``repro.protocols`` code.
+#: Checked in order; first hit wins.
+_PROTO_FUNC_HINTS = (
+    ("diff", "diff"),
+    ("interval", "interval-bookkeeping"),
+    ("incorporate", "interval-bookkeeping"),
+    ("notice", "interval-bookkeeping"),
+    ("garbage", "interval-bookkeeping"),
+    ("gc", "interval-bookkeeping"),
+    ("clock", "vector-clock"),
+    ("vc", "vector-clock"),
+)
+
+
+def _protocol_bucket(filename: str, func: str) -> Optional[str]:
+    """Bucket for one profiled function, or ``None`` when it is not
+    protocol work (simulator, network, apps, ...).  File-based where a
+    file is single-purpose, name-based inside the mixed files."""
+    path = filename.replace("\\", "/")
+    if "/repro/" not in path:
+        return None
+    tail = path.rsplit("/repro/", 1)[1]
+    if tail.startswith("mem/"):
+        module = tail.split("/", 1)[1]
+        if module == "timestamps.py":
+            return "vector-clock"
+        if module in ("diffs.py", "wire.py"):
+            return "diff"
+        if module == "intervals.py":
+            return ("diff" if func in _DIFFSTORE_FUNCS
+                    else "interval-bookkeeping")
+        return "interval-bookkeeping" if module == "copyset.py" \
+            else "protocol (other)"
+    if tail.startswith("protocols/"):
+        lowered = func.lower()
+        for fragment, bucket in _PROTO_FUNC_HINTS:
+            if fragment in lowered:
+                return bucket
+        return "protocol (other)"
+    return None
+
 
 @dataclass
 class Hotspot:
@@ -55,6 +110,9 @@ class ProfileReport:
     events_per_second: float
     #: subsystem -> profiler self-time seconds (descending share).
     subsystem_seconds: Dict[str, float] = field(default_factory=dict)
+    #: protocol bucket -> profiler self-time seconds inside the
+    #: consistency machinery (see :data:`PROTOCOL_BUCKETS`).
+    protocol_seconds: Dict[str, float] = field(default_factory=dict)
     #: activity -> fraction of simulated processor time (repro.obs).
     sim_time_breakdown: Dict[str, float] = field(default_factory=dict)
     hotspots: List[Hotspot] = field(default_factory=list)
@@ -101,11 +159,16 @@ def profile_spec(spec: RunSpec, top: int = 15) -> ProfileReport:
 
     stats = pstats.Stats(profiler)
     subsystems: Dict[str, float] = {}
+    protocol: Dict[str, float] = {name: 0.0
+                                  for name in PROTOCOL_BUCKETS}
     rows: List[Hotspot] = []
     for (filename, line, func), (_cc, ncalls, tottime, cumtime,
                                  _callers) in stats.stats.items():
         subsystem = _subsystem_of(filename)
         subsystems[subsystem] = subsystems.get(subsystem, 0.0) + tottime
+        bucket = _protocol_bucket(filename, func)
+        if bucket is not None:
+            protocol[bucket] += tottime
         rows.append(Hotspot(
             where=_short_location(filename, line, func),
             ncalls=ncalls, tottime=tottime, cumtime=cumtime))
@@ -119,6 +182,7 @@ def profile_spec(spec: RunSpec, top: int = 15) -> ProfileReport:
         events=events,
         events_per_second=(events / wall if wall > 0 else 0.0),
         subsystem_seconds=ordered,
+        protocol_seconds=protocol,
         sim_time_breakdown=result.time_breakdown(),
         hotspots=rows[:max(0, top)],
         result=result,
@@ -145,6 +209,15 @@ def format_profile(report: ProfileReport, top: int = 15) -> str:
     for name, seconds in report.subsystem_seconds.items():
         lines.append(f"  {name:<14s} {seconds / total:5.1%}  "
                      f"{seconds:7.3f}s")
+    if report.protocol_seconds:
+        lines += ["", "protocol-time buckets (cProfile self time in "
+                      "repro.mem + repro.protocols):"]
+        proto_total = sum(report.protocol_seconds.values()) or 1.0
+        for name in PROTOCOL_BUCKETS:
+            seconds = report.protocol_seconds.get(name, 0.0)
+            lines.append(
+                f"  {name:<21s} {seconds / proto_total:5.1%}  "
+                f"{seconds:7.3f}s")
     shown = report.hotspots[:max(0, top)]
     lines += ["", f"top {len(shown)} functions by self time:",
               f"  {'ncalls':>9s} {'tottime':>8s} {'cumtime':>8s}  "

@@ -142,7 +142,9 @@ def _encode_clocks(node) -> bytes:
     w = _Writer()
     w.vc(node.vc)
     for proc in range(node.config.nprocs):
-        w.vc(node.peer_vc[proc])
+        # peer_clock folds deferred observations so the checkpoint
+        # carries the same value an eager-merging node would hold.
+        w.vc(node.peer_clock(proc))
     return w.payload()
 
 
@@ -311,10 +313,12 @@ def wipe_node(node) -> None:
     node.vc = VectorClock.zero(nprocs)
     for proc in range(nprocs):
         node.peer_vc[proc] = VectorClock.zero(nprocs)
+        node._peer_vc_pending[proc].clear()
     protocol = node.protocol
     protocol.orphan_notices.clear()
     protocol.own_page_intervals.clear()
     protocol.unpropagated.clear()
+    protocol._dirty_pages.clear()
     protocol.last_barrier_vc = VectorClock.zero(nprocs)
 
 
@@ -325,6 +329,7 @@ def _restore_clocks(reader: _Reader, node) -> None:
     node.vc = reader.vc()
     for proc in range(reader.nprocs):
         node.peer_vc[proc] = reader.vc()
+        node._peer_vc_pending[proc].clear()
 
 
 def _restore_pages(reader: _Reader, node,
@@ -352,6 +357,11 @@ def _restore_pages(reader: _Reader, node,
             if flags & 2 else None
         copy.vc = reader.vc() if flags & 4 else None
         copy.written = [reader.pair() for _ in range(reader.u32())]
+        if copy.written:
+            # Keep the protocol's dirty-page index (which seals scan
+            # instead of the whole page table) in sync with restored
+            # written ranges.
+            node.protocol._dirty_pages.add(page)
         copy.applied = dict(reader.pair()
                             for _ in range(reader.u32()))
         notices = []

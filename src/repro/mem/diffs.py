@@ -55,7 +55,7 @@ class Diff:
     """
 
     __slots__ = ("page", "starts", "counts", "payload", "word_size",
-                 "word_count", "size_bytes", "_runs")
+                 "word_count", "size_bytes", "_runs", "_encoded")
 
     def __init__(self, page: int,
                  runs: Sequence[Tuple[int, np.ndarray]],
@@ -83,6 +83,10 @@ class Diff:
         self.size_bytes = accounted_size(len(starts), self.word_count,
                                          word_size)
         self._runs = None
+        # Memoized canonical RDIF encoding (repro.mem.wire fills it on
+        # the first encode, or seeds it from the source blob on
+        # decode).  Immutability makes invalidation unnecessary.
+        self._encoded = None
 
     @classmethod
     def from_flat(cls, page: int, starts: Tuple[int, ...],
@@ -202,7 +206,8 @@ class Diff:
     # -- canonical serialization (repro.mem.wire) ----------------------
 
     def encode(self) -> bytes:
-        """Serialize into the canonical RDIF wire format."""
+        """Serialize into the canonical RDIF wire format (memoized —
+        the blob is built once and the same ``bytes`` reused)."""
         return encode_diff(self)
 
     @staticmethod

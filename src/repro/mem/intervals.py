@@ -123,10 +123,16 @@ class IntervalLog:
         components = vc.components
         found: List[IntervalRecord] = []
         for proc, (indices, records) in self._by_proc.items():
+            # Quick reject: indices are ascending, so when the newest
+            # known interval is already covered by ``vc`` the bisect
+            # (and the slice) can be skipped for this processor.
+            if indices[-1] <= components[proc]:
+                continue
             cut = bisect_right(indices, components[proc])
             if cut < len(records):
                 found.extend(records[cut:])
-        found.sort(key=lambda r: (r.vc.total(), r.proc, r.index))
+        if len(found) > 1:
+            found.sort(key=lambda r: (r.vc.total(), r.proc, r.index))
         return found
 
     def all_records(self) -> List[IntervalRecord]:

@@ -49,6 +49,8 @@ class VectorClock:
                                + parts[proc + 1:])
 
     def merged(self, other: "VectorClock") -> "VectorClock":
+        if other is self:
+            return self
         mine = self.components
         theirs = other.components
         if len(mine) != len(theirs):
@@ -67,6 +69,8 @@ class VectorClock:
 
     def dominates(self, other: "VectorClock") -> bool:
         """True iff self >= other componentwise."""
+        if other is self:
+            return True
         mine = self.components
         theirs = other.components
         if len(mine) != len(theirs):

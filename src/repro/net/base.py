@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
+from heapq import heappush
 from typing import Callable, Optional
 
 from repro.core.config import MachineConfig
@@ -127,8 +128,20 @@ class Network(ABC):
             raise ValueError(f"destination {message.dst} out of range")
         if self.faults is None:
             delivery_time = self._schedule(message)
-            self.sim.schedule(delivery_time - self.sim.now,
-                              self._deliver, message)
+            # Simulator.schedule inlined (one call per transmission):
+            # identical ``now + delay`` float arithmetic and sequence
+            # numbering, including the zero-delay ready-bucket branch
+            # for the corner where a tiny wire time rounds away
+            # against a large current time.
+            sim = self.sim
+            now = sim.now
+            delay = delivery_time - now
+            sim._seq = seq = sim._seq + 1
+            if delay == 0.0:
+                sim._ready.append((seq, self._deliver, (message,)))
+            else:
+                heappush(sim._queue,
+                         (now + delay, seq, self._deliver, (message,)))
             return delivery_time
         return self._transmit_with_faults(message)
 

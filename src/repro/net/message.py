@@ -41,6 +41,12 @@ class MsgKind(Enum):
     # (never sent by protocols; appears only on the wire when the
     # reliable transport is active -- see repro.net.transport)
 
+    # Enum's default __hash__ is a Python-level call (hash of _name_);
+    # members are singletons compared by identity, so the C-level
+    # object hash is equivalent — and message kinds key the per-send
+    # metrics counters, twice per message.
+    __hash__ = object.__hash__
+
     @property
     def is_synchronization(self) -> bool:
         """Messages whose *purpose* is synchronization (lock/barrier)."""

@@ -92,11 +92,13 @@ class NodeInstruments:
 
     def record_send(self, message) -> None:
         """Mirror of :meth:`NodeMetrics.record_send` into the registry."""
-        kind = message.kind.value
+        # Keyed by the enum member (C-level hash), not ``kind.value``:
+        # the .value descriptor is a Python call per message.
+        kind = message.kind
         child = self._msg_children.get(kind)
         if child is None:
             child = self.messages.labels(node=self.node_label,
-                                         msg_type=kind)
+                                         msg_type=kind.value)
             self._msg_children[kind] = child
         # Counter children are bare .value cells; this runs twice per
         # message (send + its NodeMetrics mirror), so skip the inc()

@@ -93,6 +93,10 @@ class BaseProtocol:
         # Own modifications not yet flushed/pushed to other cachers:
         # interval id -> set of pages still to propagate.
         self.unpropagated: Dict[IntervalId, Set[int]] = {}
+        # Pages written since the last seal (superset index: sealing
+        # re-checks copy.dirty).  Lets seal_interval visit only written
+        # pages instead of scanning the whole page table.
+        self._dirty_pages: Set[int] = set()
         # Vector clock reached by the last global barrier.
         self.last_barrier_vc = VectorClock.zero(node.config.nprocs)
 
@@ -119,9 +123,16 @@ class BaseProtocol:
         """End the current interval: create a diff for every dirty page
         and log the interval.  Returns the cycle cost to charge."""
         node = self.node
-        dirty = [(page, copy)
-                 for page, copy in sorted(node.pagetable.copies.items())
-                 if copy.dirty]
+        dirty_pages = self._dirty_pages
+        if not dirty_pages:
+            return 0.0
+        copies = node.pagetable.copies
+        dirty = []
+        for page in sorted(dirty_pages):
+            copy = copies.get(page)
+            if copy is not None and copy.dirty:
+                dirty.append((page, copy))
+        dirty_pages.clear()
         if not dirty:
             return 0.0
         if node.config.nprocs == 1:
@@ -212,8 +223,10 @@ class BaseProtocol:
                              records=len(records),
                              pages=sum(len(r.pages) for r in records))
         get_copy = node.pagetable.copies.get
-        copysets = node.copysets
+        masks = node.copysets._masks
+        masks_get = masks.get
         interval_log = node.interval_log
+        known = interval_log._records
         orphans = self.orphan_notices
         notices_received = node.ins.notices_received
         me = node.proc
@@ -226,9 +239,16 @@ class BaseProtocol:
             proc = record.proc
             if proc == me:
                 continue
-            if not interval_log.add_if_new(record):
+            # Duplicate quick-reject on the log's dict before paying
+            # the add_if_new call: barrier departures broadcast the
+            # union to everyone, so most records are already known.
+            if (record.interval_id in known
+                    or not interval_log.add_if_new(record)):
                 continue
             notices_received.value += len(record.pages)
+            # CopysetTable.add inlined (once per notice); the writer's
+            # bit is fixed for the whole record.
+            bit = 1 << proc
             for notice in record.notices():
                 page = notice.page
                 copy = get_copy(page)
@@ -241,9 +261,9 @@ class BaseProtocol:
                     interval_id = notice.interval_id
                     if interval_id not in bucket:
                         bucket[interval_id] = notice
-                        copysets.add(page, proc)
+                        masks[page] = masks_get(page, 0) | bit
                 elif copy.add_notice(notice):
-                    copysets.add(page, proc)
+                    masks[page] = masks_get(page, 0) | bit
             current = latest.get(proc)
             if current is None or record.index > current.index:
                 latest[proc] = record
@@ -342,19 +362,27 @@ class BaseProtocol:
         remain pending — reading around them is release-consistent);
         returns False (no changes) if some due diff is missing."""
         due = self.due_notices(copy)
-        if not all(self.node.diff_store.has(n.proc, n.index, copy.page)
-                   for n in due):
-            return False
+        if not due:
+            # Nothing in the causal cone: trivially applied (pushed
+            # strays may remain pending — reading around them is
+            # release-consistent).
+            copy.valid = True
+            return True
+        store = self.node.diff_store
+        page = copy.page
+        for n in due:
+            if not store.has(n.proc, n.index, page):
+                return False
         notices = sorted(due,
                          key=lambda n: (n.vc.total(), n.proc, n.index))
+        get = store.get
         for notice in notices:
-            diff = self.node.diff_store.get(notice.proc, notice.index,
-                                            copy.page)
+            diff = get(notice.proc, notice.index, page)
             diff.apply(copy)
             copy.mark_applied(notice.proc, notice.index)
         copy.remove_notices({n.interval_id for n in due})
         copy.valid = True
-        if notices and self.node.tracer:
+        if self.node.tracer:
             self.node.tracer.emit("protocol.diff_apply",
                                   page=copy.page, node=self.node.proc,
                                   diffs=len(notices))
@@ -386,6 +414,10 @@ class BaseProtocol:
             current = latest.get(notice.proc)
             if current is None or notice.index > current.index:
                 latest[notice.proc] = notice
+        if len(latest) == 1:
+            # Single known modifier (the common case in phase-parallel
+            # apps): nobody can dominate it.
+            return list(latest)
         modifiers = []
         for proc, notice in latest.items():
             dominated = any(
@@ -649,7 +681,7 @@ class BaseProtocol:
             for dest in range(node.config.nprocs):
                 if dest == node.proc:
                     continue
-                if node.peer_vc[dest][node.proc] >= index:
+                if node.peer_clock(dest)[node.proc] >= index:
                     continue  # destination already has this interval
                 diffs = [node.diff_store.get(proc, index, page)
                          for page in sorted(pages)
@@ -772,6 +804,7 @@ class BaseProtocol:
                 f"write to invalid page {page} on node "
                 f"{self.node.proc}: ensure_valid must run first")
         copy.record_write(start, end)
+        self._dirty_pages.add(page)
 
     def on_release(self) -> Generator:
         raise NotImplementedError

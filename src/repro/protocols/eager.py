@@ -304,7 +304,7 @@ class EagerBase(BaseProtocol):
                       lock_id=None
                       ) -> Tuple[Optional[ConsistencyInfo], int]:
         node = self.node
-        node.peer_vc[requester] = node.peer_vc[requester].merged(node.vc)
+        node.advance_peer_clock(requester, node.vc)
         return None, 0
 
     def apply_grant(self,

@@ -50,5 +50,5 @@ class EntryConsistency(LazyHybrid):
                     diffs.append(((record.proc, record.index), diff))
         info = ConsistencyInfo(sender_vc=node.vc, records=records,
                                diffs=diffs)
-        node.peer_vc[requester] = node.peer_vc[requester].merged(node.vc)
+        node.advance_peer_clock(requester, node.vc)
         return info, sum(self.diff_bytes(d) for _iid, d in info.diffs)

@@ -130,21 +130,35 @@ class LazyBase(BaseProtocol):
         node = self.node
         records = node.interval_log.records_after(requester_vc)
         diffs = []
-        if self.piggyback_diffs and self.piggyback_policy != "never":
+        if (self.piggyback_diffs and records
+                and self.piggyback_policy != "never"):
+            # Batched piggyback assembly: one pass over the records'
+            # cached page-ascending notices (no per-grant sort), with
+            # the requester's copyset membership resolved once per
+            # page — hot pages recur across the granted intervals.
+            copyset_rule = self.piggyback_policy == "copyset"
+            believes = node.copysets.believes_cached
+            get_diff = node.diff_store.get
+            cached_ok: Dict[int, bool] = {}
             for record in records:
-                for page in sorted(record.pages):
-                    if (self.piggyback_policy == "copyset"
-                            and not node.copysets.believes_cached(
-                                page, requester)):
-                        continue
-                    diff = self._try_get_diff(record.proc, record.index,
-                                              page)
+                proc = record.proc
+                index = record.index
+                interval_id = record.interval_id
+                for notice in record.notices():
+                    page = notice.page
+                    if copyset_rule:
+                        ok = cached_ok.get(page)
+                        if ok is None:
+                            ok = cached_ok[page] = believes(page,
+                                                            requester)
+                        if not ok:
+                            continue
+                    diff = get_diff(proc, index, page)
                     if diff is not None:
-                        diffs.append(((record.proc, record.index),
-                                      diff))
+                        diffs.append((interval_id, diff))
         info = ConsistencyInfo(sender_vc=node.vc, records=records,
                                diffs=diffs)
-        node.peer_vc[requester] = node.peer_vc[requester].merged(node.vc)
+        node.advance_peer_clock(requester, node.vc)
         return info, sum(self.diff_bytes(d) for _iid, d in info.diffs)
 
     def apply_grant(self, info: Optional[ConsistencyInfo]) -> Generator:
@@ -190,6 +204,19 @@ class LazyBase(BaseProtocol):
                 yield from self.fetch_pending(page)
             if not copy.valid and not copy.pending_notices:
                 copy.valid = True
+
+    def collect_garbage(self) -> Generator:
+        """Base prune plus lazy-specific memo release.
+
+        The due/stray partition memos (``PageCopy.due_cache``) and the
+        cached per-record notice lists hold references into the
+        pruned history; dropping the memos here lets the collected
+        records, notices, and their cached RDIF blobs actually be
+        freed.  Pure cache invalidation — the partitions are
+        recomputed on demand with identical results."""
+        yield from super().collect_garbage()
+        for copy in self.node.pagetable.copies.values():
+            copy.due_cache = None
 
     # -- the policy point: what to do with noticed pages ---------------------------
 

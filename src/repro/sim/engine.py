@@ -7,20 +7,34 @@ timeouts, other processes) and are resumed with the waitable's value.
 Time is a float in whatever unit the model chooses; this project uses
 processor cycles throughout (see :mod:`repro.core.config`).
 
-Performance notes (docs/performance.md): :meth:`Simulator.run` and
-:meth:`Simulator.run_all` inline the dispatch loop rather than calling
-:meth:`Simulator.step` per event, batch the event/queue-depth
-observability counters into local ints flushed after the loop, and
-plain numeric yields take a fast path that never allocates an
-:class:`Event`.  All of it is dispatch-for-dispatch identical to the
-naive loop — the golden-parity suite in ``tests/perf`` pins elapsed
-times, event counts, and metric dumps bit for bit.
+Scheduling (docs/performance.md has the full design discussion): the
+pending-event set is a two-tier bucketed queue rather than a single
+global heap.  Zero-delay events — the majority in every profiled
+workload (event.succeed wake-ups, process resume hops, same-cycle
+handler chains) — go to an O(1) FIFO *ready bucket* holding events due
+at the current time; only genuinely timed events (wire delays, compute
+spans, protocol timers) pay for the heap.  The pop rule compares the
+ready head's sequence number against the heap top when the heap top is
+due *now*, which preserves the exact ``(time, seq)`` total order of the
+single-heap scheduler — the golden-parity suite in ``tests/perf`` pins
+elapsed times, event counts, and metric dumps bit for bit.  Timer
+cancellation is lazy: a cancelled :class:`~repro.sim.events.Timer`
+stays queued and its dispatch becomes a no-op, so cancellation never
+pays a heap repair (see :class:`repro.sim.events.Timer`).
+
+Performance notes: :meth:`Simulator.run` and :meth:`Simulator.run_all`
+inline the dispatch loop rather than calling :meth:`Simulator.step` per
+event, batch the event/queue-depth observability counters into local
+ints flushed after the loop, and plain numeric yields take a fast path
+that never allocates an :class:`Event`.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, List, Optional, Tuple
+from collections import deque
+from typing import (Any, Callable, Deque, Generator, List, Optional,
+                    Tuple)
 
 from repro.sim.events import AllOf, Condition, Event, Timeout, Timer
 
@@ -87,7 +101,7 @@ class Process(Event):
         elif isinstance(target, (int, float)):
             # Fast path for plain numeric yields: schedule the same
             # two dispatches a Timeout would (fire, then the resume
-            # callback) without allocating an Event.  Identical heap
+            # callback) without allocating an Event.  Identical
             # sequence numbers, identical event counts.
             if target < 0:
                 raise ValueError(f"negative timeout: {float(target)}")
@@ -101,15 +115,35 @@ class Process(Event):
 
     def _delay_elapsed(self) -> None:
         """Second hop of the numeric-yield fast path (mirrors
-        ``Timeout._fire`` + ``Event.succeed`` scheduling)."""
-        self.sim.schedule(0.0, self._resume, None)
+        ``Timeout._fire`` + ``Event.succeed`` scheduling).  The
+        zero-delay ``schedule`` branch is inlined: this runs once per
+        compute span, which Jacobi-style apps issue per inner
+        iteration."""
+        sim = self.sim
+        sim._seq = seq = sim._seq + 1
+        sim._ready.append((seq, self._resume, (None,)))
 
 
 class Simulator:
-    """Event loop: schedules callbacks and drives processes."""
+    """Event loop: schedules callbacks and drives processes.
+
+    Pending events live in two tiers sharing one sequence-number space:
+
+    - ``_ready`` — deque of ``(seq, callback, args)`` due at ``now``
+      (every zero-delay schedule lands here; O(1) append/popleft);
+    - ``_queue`` — heap of ``(time, seq, callback, args)`` for timed
+      events (``time`` may equal ``now`` when a positive delay rounds
+      to zero in float arithmetic — the pop rule covers that corner).
+
+    Invariant: every ready entry is due exactly at ``now`` (entries are
+    appended at the current time and the loops never advance ``now``
+    while the bucket is non-empty), so dispatch order is the global
+    ``(time, seq)`` order even across the two tiers.
+    """
 
     def __init__(self) -> None:
         self.now: float = 0.0
+        self._ready: Deque[Tuple[int, Callable, Any]] = deque()
         self._queue: List[Tuple[float, int, Callable, Any]] = []
         self._seq = 0
         self.processed_events = 0
@@ -133,13 +167,22 @@ class Simulator:
 
     # -- scheduling ------------------------------------------------------
 
+    @property
+    def pending(self) -> int:
+        """Number of queued events across both tiers."""
+        return len(self._ready) + len(self._queue)
+
     def schedule(self, delay: float, callback: Callable, *args) -> None:
         """Run ``callback(*args)`` at ``now + delay``."""
+        if delay == 0.0:
+            self._seq = seq = self._seq + 1
+            self._ready.append((seq, callback, args))
+            return
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past: {delay}")
-        self._seq += 1
+        self._seq = seq = self._seq + 1
         heapq.heappush(self._queue,
-                       (self.now + delay, self._seq, callback, args))
+                       (self.now + delay, seq, callback, args))
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         return Timeout(self, delay, value)
@@ -177,14 +220,20 @@ class Simulator:
 
         Convenience/debug entry point: the batch loops below inline
         this body instead of paying a method call per event."""
-        if not self._queue:
+        ready = self._ready
+        queue = self._queue
+        if not ready and not queue:
             return False
         if self._obs_queue_depth is not None:
-            self._obs_queue_depth.set_max(len(self._queue))
-        time, _seq, callback, args = heapq.heappop(self._queue)
-        if time < self.now:
-            raise SimulationError("time went backwards")
-        self.now = time
+            self._obs_queue_depth.set_max(len(ready) + len(queue))
+        if ready and not (queue and queue[0][0] == self.now
+                          and queue[0][1] < ready[0][0]):
+            _seq, callback, args = ready.popleft()
+        else:
+            time, _seq, callback, args = heapq.heappop(queue)
+            if time < self.now:
+                raise SimulationError("time went backwards")
+            self.now = time
         callback(*args)
         self.processed_events += 1
         if self._obs_events is not None:
@@ -195,24 +244,36 @@ class Simulator:
             max_events: Optional[int] = None) -> float:
         """Run until the queue drains, ``until`` is reached, or
         ``max_events`` have been processed.  Returns the final time."""
+        ready = self._ready
         queue = self._queue
         pop = heapq.heappop
+        popleft = ready.popleft
         dispatched = 0
         depth_peak = 0
+        # ``now`` mirrors self.now in a local (an attribute read per
+        # dispatched event otherwise); callbacks never advance time —
+        # only the heap pops below do — so the mirror cannot go stale.
+        now = self.now
         try:
-            while queue:
-                if until is not None and queue[0][0] > until:
-                    self.now = until
-                    break
+            while ready or queue:
+                if until is not None:
+                    earliest = now if ready else queue[0][0]
+                    if earliest > until:
+                        self.now = until
+                        break
                 if max_events is not None and dispatched >= max_events:
                     break
-                depth = len(queue)
+                depth = len(ready) + len(queue)
                 if depth > depth_peak:
                     depth_peak = depth
-                time, _seq, callback, args = pop(queue)
-                if time < self.now:
-                    raise SimulationError("time went backwards")
-                self.now = time
+                if ready and not (queue and queue[0][0] == now
+                                  and queue[0][1] < ready[0][0]):
+                    _seq, callback, args = popleft()
+                else:
+                    time, _seq, callback, args = pop(queue)
+                    if time < now:
+                        raise SimulationError("time went backwards")
+                    self.now = now = time
                 callback(*args)
                 dispatched += 1
         finally:
@@ -222,24 +283,31 @@ class Simulator:
     def run_process(self, process: Process,
                     max_events: Optional[int] = None) -> Any:
         """Run until ``process`` completes; returns its return value."""
+        ready = self._ready
         queue = self._queue
         pop = heapq.heappop
+        popleft = ready.popleft
         dispatched = 0
         depth_peak = 0
         # Same loop as run_all with the stop predicate inlined to a
         # plain attribute read (the lambda-per-event version showed up
         # in whole-run profiles).
+        now = self.now
         try:
-            while queue and not process.triggered:
+            while (ready or queue) and not process.triggered:
                 if max_events is not None and dispatched >= max_events:
                     break
-                depth = len(queue)
+                depth = len(ready) + len(queue)
                 if depth > depth_peak:
                     depth_peak = depth
-                time, _seq, callback, args = pop(queue)
-                if time < self.now:
-                    raise SimulationError("time went backwards")
-                self.now = time
+                if ready and not (queue and queue[0][0] == now
+                                  and queue[0][1] < ready[0][0]):
+                    _seq, callback, args = popleft()
+                else:
+                    time, _seq, callback, args = pop(queue)
+                    if time < now:
+                        raise SimulationError("time went backwards")
+                    self.now = now = time
                 callback(*args)
                 dispatched += 1
         finally:
@@ -258,21 +326,28 @@ class Simulator:
         Same loop as :meth:`run_process` with the stop condition as a
         plain attribute read — a callback-based stop predicate costs a
         Python call per dispatched event."""
+        ready = self._ready
         queue = self._queue
         pop = heapq.heappop
+        popleft = ready.popleft
         dispatched = 0
         depth_peak = 0
+        now = self.now
         try:
-            while queue and not event.triggered:
+            while (ready or queue) and not event.triggered:
                 if max_events is not None and dispatched >= max_events:
                     break
-                depth = len(queue)
+                depth = len(ready) + len(queue)
                 if depth > depth_peak:
                     depth_peak = depth
-                time, _seq, callback, args = pop(queue)
-                if time < self.now:
-                    raise SimulationError("time went backwards")
-                self.now = time
+                if ready and not (queue and queue[0][0] == now
+                                  and queue[0][1] < ready[0][0]):
+                    _seq, callback, args = popleft()
+                else:
+                    time, _seq, callback, args = pop(queue)
+                    if time < now:
+                        raise SimulationError("time went backwards")
+                    self.now = now = time
                 callback(*args)
                 dispatched += 1
         finally:
@@ -281,23 +356,30 @@ class Simulator:
 
     def run_all(self, stop: Optional[Callable[[], bool]] = None,
                 max_events: Optional[int] = None) -> float:
+        ready = self._ready
         queue = self._queue
         pop = heapq.heappop
+        popleft = ready.popleft
         dispatched = 0
         depth_peak = 0
+        now = self.now
         try:
-            while queue:
+            while ready or queue:
                 if stop is not None and stop():
                     break
                 if max_events is not None and dispatched >= max_events:
                     break
-                depth = len(queue)
+                depth = len(ready) + len(queue)
                 if depth > depth_peak:
                     depth_peak = depth
-                time, _seq, callback, args = pop(queue)
-                if time < self.now:
-                    raise SimulationError("time went backwards")
-                self.now = time
+                if ready and not (queue and queue[0][0] == now
+                                  and queue[0][1] < ready[0][0]):
+                    _seq, callback, args = popleft()
+                else:
+                    time, _seq, callback, args = pop(queue)
+                    if time < now:
+                        raise SimulationError("time went backwards")
+                    self.now = now = time
                 callback(*args)
                 dispatched += 1
         finally:

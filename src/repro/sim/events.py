@@ -29,14 +29,23 @@ class Event:
         self.triggered = True
         self.value = value
         callbacks, self._callbacks = self._callbacks, []
+        # Zero-delay schedule inlined (one wake per waiter per fire —
+        # the busiest single call site in whole-run profiles).
+        sim = self.sim
+        ready = sim._ready
+        seq = sim._seq
         for callback in callbacks:
-            self.sim.schedule(0.0, callback, self)
+            seq += 1
+            ready.append((seq, callback, (self,)))
+        sim._seq = seq
         return self
 
     def add_callback(self, callback: Callable[["Event"], None]) -> None:
         """Register ``callback(event)``; runs now if already triggered."""
         if self.triggered:
-            self.sim.schedule(0.0, callback, self)
+            sim = self.sim
+            sim._seq = seq = sim._seq + 1
+            sim._ready.append((seq, callback, (self,)))
         else:
             self._callbacks.append(callback)
 

@@ -74,7 +74,7 @@ class BarrierManager:
             state = self._master_state(key)
             state.arrived[node.proc] = payload
             if len(state.arrived) < nprocs:
-                state.all_arrived = self.sim.event(f"barrier-{key}")
+                state.all_arrived = self.sim.event("barrier")
                 yield state.all_arrived
             departures = node.protocol.master_combine(state.arrived)
             del self._master[key]
@@ -93,7 +93,7 @@ class BarrierManager:
             yield from node.protocol.apply_depart(departures[node.proc])
             yield from self._maybe_collect_garbage()
         else:
-            depart_event = self.sim.event(f"barrier-depart-{key}")
+            depart_event = self.sim.event("barrier-depart")
             self._departures[key] = depart_event
             yield from node.app_send(Message(
                 src=node.proc, dst=master, kind=MsgKind.BARRIER_ARRIVE,

@@ -107,7 +107,7 @@ class LockManager:
             node.ins.lock_acquires.inc()
             node.ins.lock_local_acquires.inc()
             return
-        state.waiting = self.sim.event(f"lock-{lock_id}-grant")
+        state.waiting = self.sim.event("lock-grant")
         if self.broadcast:
             if node.tracer:
                 node.tracer.emit("sync.lock_request", lock=lock_id,

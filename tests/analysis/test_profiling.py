@@ -1,0 +1,84 @@
+"""Tests for the ``repro profile`` host/simulated-time attribution,
+including the protocol-time buckets (interval-bookkeeping vs diff vs
+vector-clock)."""
+
+from repro.analysis.profiling import (PROTOCOL_BUCKETS, ProfileReport,
+                                      _protocol_bucket, format_profile,
+                                      profile_spec)
+from repro.core.config import MachineConfig, NetworkConfig
+from repro.lab.spec import RunSpec
+
+
+def _spec():
+    return RunSpec("jacobi", dict(n=48, iterations=3), protocol="li",
+                   config=MachineConfig(nprocs=4,
+                                        network=NetworkConfig.atm()))
+
+
+class TestProtocolBucket:
+    def test_vector_clock_file(self):
+        assert _protocol_bucket("/x/src/repro/mem/timestamps.py",
+                                "merged") == "vector-clock"
+
+    def test_diff_files(self):
+        assert _protocol_bucket("/x/src/repro/mem/diffs.py",
+                                "apply") == "diff"
+        assert _protocol_bucket("/x/src/repro/mem/wire.py",
+                                "encode_diff") == "diff"
+
+    def test_intervals_file_split_by_class(self):
+        # intervals.py holds both the interval log and the DiffStore;
+        # DiffStore's methods count as diff machinery.
+        assert _protocol_bucket("/x/src/repro/mem/intervals.py",
+                                "add_if_new") == "interval-bookkeeping"
+        assert _protocol_bucket("/x/src/repro/mem/intervals.py",
+                                "records_after") == "interval-bookkeeping"
+        assert _protocol_bucket("/x/src/repro/mem/intervals.py",
+                                "prune_intervals") == "diff"
+
+    def test_protocols_by_function_name(self):
+        base = "/x/src/repro/protocols/base.py"
+        assert _protocol_bucket(base, "seal_interval") \
+            == "interval-bookkeeping"
+        assert _protocol_bucket(base, "incorporate_records") \
+            == "interval-bookkeeping"
+        assert _protocol_bucket(base, "due_notices") \
+            == "interval-bookkeeping"
+        assert _protocol_bucket(base, "collect_garbage") \
+            == "interval-bookkeeping"
+        assert _protocol_bucket(base, "_serve_diff_request") == "diff"
+        assert _protocol_bucket(base, "store_diffs") == "diff"
+        assert _protocol_bucket(base, "lazy_miss") == "protocol (other)"
+
+    def test_non_protocol_code_is_unbucketed(self):
+        assert _protocol_bucket("/x/src/repro/sim/engine.py",
+                                "run_until") is None
+        assert _protocol_bucket("/usr/lib/python3/heapq.py",
+                                "heappush") is None
+
+
+class TestProfileSpec:
+    def test_report_has_all_buckets_and_interval_time(self):
+        report = profile_spec(_spec(), top=5)
+        assert set(report.protocol_seconds) == set(PROTOCOL_BUCKETS)
+        assert all(seconds >= 0.0
+                   for seconds in report.protocol_seconds.values())
+        # A lazy-protocol run cannot avoid interval bookkeeping.
+        assert report.protocol_seconds["interval-bookkeeping"] > 0.0
+        assert report.events > 0
+
+    def test_profiled_result_is_bit_identical(self):
+        from tests.perf.parity import canonical_dump
+        import json
+        spec = _spec()
+        report = profile_spec(spec, top=0)
+        profiled = json.dumps(report.result.to_dict(),
+                              sort_keys=True, indent=1)
+        assert profiled == canonical_dump(spec)
+
+    def test_format_includes_bucket_section(self):
+        report = profile_spec(_spec(), top=3)
+        text = format_profile(report, top=3)
+        assert "protocol-time buckets" in text
+        for name in PROTOCOL_BUCKETS:
+            assert name in text

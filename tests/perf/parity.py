@@ -66,6 +66,16 @@ def cases():
                         config=MachineConfig(
                             nprocs=8,
                             network=NetworkConfig.atm()))))
+    # The BENCH_core32 workload: the large-configuration arm (32
+    # processors) that keeps the scheduler/protocol fast paths honest
+    # at high nprocs; benchmarks/test_perf_core.py reuses this golden
+    # for its byte_identical gate.
+    out.append(("perfcore_jacobi_li_atm32",
+                RunSpec("jacobi", dict(n=128, iterations=40),
+                        protocol="li",
+                        config=MachineConfig(
+                            nprocs=32,
+                            network=NetworkConfig.atm()))))
     return out
 
 

@@ -33,7 +33,7 @@ def _run_drained(config, protocol="lh"):
         app=app.name)
     app.finish(machine, shared, result)
     machine.sim.run(max_events=200_000)
-    assert not machine.sim._queue  # fully drained, not event-capped
+    assert not machine.sim.pending  # fully drained, not event-capped
     return machine, result
 
 

@@ -10,18 +10,32 @@ operation sequences and demands equality (docs/performance.md):
   bisect index) vs a flat scan of the whole log;
 - :meth:`repro.protocols.base.BaseProtocol.due_notices` (memoized
   incremental partition) vs a naive dominance filter, across
-  interleaved notice arrivals and monotone clock advances.
+  interleaved notice arrivals and monotone clock advances;
+- :meth:`repro.mem.intervals.IntervalLog.prune_dominated` (interval
+  GC) vs the unpruned log, for every acquirer clock the GC safety
+  argument admits — including after an RCKP ILOG round trip;
+- :func:`repro.mem.wire.encode_diff` (memoized blob cache) vs an
+  independent struct-level encoding of the documented RDIF layout —
+  cold, warm, decode-seeded, and across an RCKP DIFS round trip.
 """
 
+import struct
 from types import SimpleNamespace
 
+import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.mem.diffs import normalize_ranges
-from repro.mem.intervals import IntervalLog, IntervalRecord, WriteNotice
+from repro.mem.checkpoint import (_Reader, _encode_diff_store,
+                                  _encode_interval_log,
+                                  _restore_diff_store,
+                                  _restore_interval_log)
+from repro.mem.diffs import Diff, normalize_ranges
+from repro.mem.intervals import (DiffStore, IntervalLog, IntervalRecord,
+                                 WriteNotice)
 from repro.mem.pages import PageCopy
 from repro.mem.timestamps import VectorClock
+from repro.mem.wire import decode_diff, encode_diff
 from repro.protocols.base import BaseProtocol
 
 PAGE_WORDS = 64
@@ -126,3 +140,153 @@ def test_due_notices_memo_matches_naive_filter(script):
         # same notices, same (pending-list) order — after every
         # mutation, however the cache hits land.
         assert BaseProtocol.due_notices(protocol, copy) == naive()
+
+
+# -- interval-log GC vs the unpruned log -------------------------------
+
+
+@st.composite
+def gc_scenarios(draw):
+    """A log, a GC threshold clock, and an acquirer clock that
+    dominates the threshold (the only clocks the GC safety argument
+    must serve: after a barrier every processor's clock dominates the
+    pruned history)."""
+    nprocs = draw(st.integers(2, 4))
+    records = []
+    for proc, index in draw(st.lists(
+            st.tuples(st.integers(0, nprocs - 1), st.integers(1, 12)),
+            min_size=1, max_size=25)):
+        components = [draw(st.integers(0, 12)) for _ in range(nprocs)]
+        components[proc] = index
+        records.append(IntervalRecord(
+            proc=proc, index=index, vc=VectorClock(components),
+            pages=frozenset(draw(st.sets(st.integers(0, 5),
+                                         max_size=3)))))
+    gc_vc = VectorClock([draw(st.integers(0, 12))
+                         for _ in range(nprocs)])
+    query = gc_vc.merged(VectorClock(
+        [draw(st.integers(0, 12)) for _ in range(nprocs)]))
+    return nprocs, records, gc_vc, query
+
+
+@given(scenario=gc_scenarios())
+@settings(max_examples=200)
+def test_pruned_log_matches_unpruned_for_dominating_clocks(scenario):
+    nprocs, records, gc_vc, query = scenario
+    pruned = IntervalLog()
+    oracle = IntervalLog()
+    for record in records:
+        pruned.add(record)
+        oracle.add(record)
+    dropped = pruned.prune_dominated(gc_vc)
+    # Only records below the threshold may disappear...
+    assert all(gc_vc.dominates(oracle.get(iid).vc) for iid in dropped)
+    # ...and any acquirer whose clock dominates the threshold sees
+    # exactly what the never-pruned log would send it.
+    assert pruned.records_after(query) == oracle.records_after(query)
+    assert pruned.records_after(gc_vc) == oracle.records_after(gc_vc)
+
+
+@given(scenario=gc_scenarios())
+@settings(max_examples=100)
+def test_pruned_log_survives_rckp_round_trip(scenario):
+    nprocs, records, gc_vc, query = scenario
+    pruned = IntervalLog()
+    oracle = IntervalLog()
+    for record in records:
+        pruned.add(record)
+        oracle.add(record)
+    pruned.prune_dominated(gc_vc)
+    payload = _encode_interval_log(
+        SimpleNamespace(interval_log=pruned))
+    restored = IntervalLog()
+    reader = _Reader(payload, nprocs)
+    _restore_interval_log(reader, SimpleNamespace(
+        interval_log=restored))
+    assert reader.done()
+    assert len(restored) == len(pruned)
+    # The checkpointed-and-restored GC'd log serves acquirers the same
+    # records (ids, clocks, page sets) as the never-pruned oracle.
+    def keyed(found):
+        return [(r.interval_id, r.vc, r.pages) for r in found]
+    assert keyed(restored.records_after(query)) \
+        == keyed(oracle.records_after(query))
+
+
+# -- RDIF blob cache vs a struct-level oracle encoding -----------------
+
+
+@st.composite
+def diffs_(draw):
+    """A random valid diff: sorted runs with at least one word of gap
+    (the decoder rejects touching runs), float64 payload."""
+    nruns = draw(st.integers(1, 5))
+    cursor = 0
+    starts, counts, values = [], [], []
+    for _ in range(nruns):
+        start = cursor + draw(st.integers(1, 4))
+        count = draw(st.integers(1, 4))
+        cursor = start + count
+        starts.append(start)
+        counts.append(count)
+        values.extend(draw(st.lists(
+            st.floats(allow_nan=False, allow_infinity=False,
+                      width=32),
+            min_size=count, max_size=count)))
+    payload = np.asarray(values, dtype=np.float64).tobytes()
+    return Diff.from_flat(draw(st.integers(0, 500)), tuple(starts),
+                          tuple(counts), payload,
+                          word_size=draw(st.sampled_from((4, 8))))
+
+
+def _oracle_encode(diff):
+    """Independent, memo-free rendering of the documented RDIF layout
+    (docs/memory.md): header, run table, payload."""
+    parts = [struct.pack("<4sBBHII", b"RDIF", 1, diff.word_size, 0,
+                         diff.page, len(diff.starts))]
+    parts += [struct.pack("<II", start, count)
+              for start, count in zip(diff.starts, diff.counts)]
+    parts.append(diff.payload)
+    return b"".join(parts)
+
+
+@given(diff=diffs_())
+@settings(max_examples=200)
+def test_blob_cache_matches_oracle_encoding(diff):
+    expected = _oracle_encode(diff)
+    cold = encode_diff(diff)           # fills the memo
+    warm = encode_diff(diff)           # serves from it
+    assert cold == expected
+    assert warm == expected
+    # Decode validates the canonical layout and seeds the memo from
+    # the source blob; the seeded re-encode must be the same bytes.
+    decoded = decode_diff(expected)
+    assert decoded == diff
+    assert encode_diff(decoded) == expected
+
+
+@given(entries=st.lists(
+    st.tuples(st.integers(0, 3), st.integers(1, 9), diffs_(),
+              st.booleans()),
+    min_size=1, max_size=6))
+@settings(max_examples=100)
+def test_blob_cache_survives_rckp_diff_store_round_trip(entries):
+    store = DiffStore()
+    originals = {}
+    for proc, index, diff, warm in entries:
+        if warm:
+            encode_diff(diff)          # pre-warmed memo entries mixed
+        store.put(proc, index, diff)   # with cold ones
+        originals.setdefault((proc, index, diff.page), diff)
+    payload = _encode_diff_store(SimpleNamespace(diff_store=store))
+    restored = DiffStore()
+    reader = _Reader(payload, 2)
+    _restore_diff_store(reader, SimpleNamespace(diff_store=restored))
+    assert reader.done()
+    assert len(restored) == len(originals)
+    for (proc, index, page), diff in originals.items():
+        twin = restored.get(proc, index, page)
+        assert twin == diff
+        # Restored diffs re-encode (memo seeded by decode) to exactly
+        # the oracle bytes of the original.
+        assert encode_diff(twin) == _oracle_encode(diff)

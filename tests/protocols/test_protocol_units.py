@@ -35,7 +35,7 @@ class TestSealing:
         machine, node = make_node()
         copy = node.pagetable.get(0)
         copy.values[3] = 9.0
-        copy.record_write(3, 4)
+        node.protocol.record_write(0, 3, 4)
         cost = node.protocol.seal_interval()
         assert cost == node.diff_creation_cost()
         assert node.vc[0] == 1
@@ -53,7 +53,7 @@ class TestSealing:
             copy = node.pagetable.get(page) or \
                 node.pagetable.install(page)
             copy.valid = True
-            copy.record_write(0, 2)
+            node.protocol.record_write(page, 0, 2)
         cost = node.protocol.seal_interval()
         assert cost == 2 * node.diff_creation_cost()
         assert node.vc[0] == 1
@@ -62,7 +62,7 @@ class TestSealing:
     def test_single_proc_seal_skips_diffs(self):
         machine, node = make_node(nprocs=1)
         copy = node.pagetable.get(0)
-        copy.record_write(0, 4)
+        node.protocol.record_write(0, 0, 4)
         assert node.protocol.seal_interval() == 0.0
         assert len(node.diff_store) == 0
         assert not copy.dirty
@@ -156,8 +156,7 @@ class TestDueNotices:
 class TestInvalidation:
     def test_invalidate_dirty_page_rejected(self):
         machine, node = make_node()
-        copy = node.pagetable.get(0)
-        copy.record_write(0, 1)
+        node.protocol.record_write(0, 0, 1)
         with pytest.raises(ProtocolError, match="dirty"):
             node.protocol.invalidate_page(0)
 
@@ -175,9 +174,9 @@ class TestGrantPayload:
         machine, node = make_node("li")
         copy = node.pagetable.get(0)
         copy.values[0] = 5.0
-        copy.record_write(0, 1)
+        node.protocol.record_write(0, 0, 1)
         node.protocol.seal_interval()
-        copy.record_write(1, 2)
+        node.protocol.record_write(0, 1, 2)
         node.protocol.seal_interval()
         # Requester already knows interval (0, 1).
         info, data = node.protocol.grant_payload(
@@ -190,7 +189,7 @@ class TestGrantPayload:
         machine, node = make_node("lh")
         copy = node.pagetable.get(0)
         copy.values[0] = 5.0
-        copy.record_write(0, 1)
+        node.protocol.record_write(0, 0, 1)
         node.protocol.seal_interval()
         node.copysets.add(0, 1)  # we believe proc 1 caches page 0
         info, data = node.protocol.grant_payload(
