@@ -47,6 +47,7 @@ from pathlib import Path
 import repro
 
 from benchmarks.conftest import run_once
+from repro.analysis.regression import update_summary
 from repro.core.config import MachineConfig, NetworkConfig
 from repro.lab.spec import RunSpec
 from tests.perf.parity import canonical_dump, golden_path
@@ -56,6 +57,7 @@ INTERPRETERS = int(os.environ.get("REPRO_BENCH_INTERPRETERS", "3"))
 _ROOT = Path(__file__).resolve().parents[1]
 OUT = _ROOT / "BENCH_core.json"
 OUT32 = _ROOT / "BENCH_core32.json"
+SUMMARY = _ROOT / "BENCH_summary.json"
 
 #: Best-of dispatch rate of the pre-optimization tree on each
 #: workload, measured in the reference container with this harness.
@@ -90,10 +92,14 @@ def plain():
 def tracer_nullsink():
     # The instrumented-but-disabled arm: every emission site sees a
     # tracer whose sink is a NullSink, so the `if tracer:` guards run
-    # but never build a fields dict.  Must cost < 1% vs plain.
+    # but never build a fields dict; sampler=None is passed explicitly
+    # so this arm also exercises the disabled-timeseries plumbing (the
+    # engine's per-run sampler check, the machine attribute, the
+    # serving pump guard).  Must cost < 1% vs plain.
     obs = Observability(tracer=Tracer(NullSink()))
     return run_app(create_app(spec.app, **spec.app_params),
-                   spec.config, protocol=spec.protocol, obs=obs)
+                   spec.config, protocol=spec.protocol, obs=obs,
+                   sampler=None)
 
 plain()                                  # warm imports and caches
 gc.collect()
@@ -219,6 +225,16 @@ def _run_core_benchmark(benchmark, spec, golden_name, out_path,
         "tracer_round_rates": measured["tracer"]["round_rates"],
     }
     out_path.write_text(json.dumps(record, indent=2) + "\n")
+    # The normalized cross-PR trajectory (schema-versioned; the
+    # regression sentinel fills in baseline verdicts later).
+    update_summary(SUMMARY, label.lower().replace("bench_", ""), {
+        "status": "measured",
+        "events": events,
+        "events_per_second": record["events_per_second"],
+        "rate_spread": record["rate_spread"],
+        "tracer_overhead": record["tracer_nullsink_overhead"],
+        "byte_identical": byte_identical,
+    })
     print(f"\n{label}: {events:,} events in {wall:.2f}s "
           f"({events_per_second:,.0f} events/s, spread "
           f"{record['rate_spread']:.1%}, "

@@ -35,6 +35,10 @@ from repro.obs.causal import CausalTrace
 from repro.serve.workload import SERVE_APP_PARAMS, validate_workload
 
 DEFAULT_SLO_US = 500.0
+#: SLO attainment target used for burn rates: a window "burns error
+#: budget" at rate (violation fraction) / (1 - target), so 1.0 means
+#: exactly on target and 10.0 means the budget drains 10x too fast.
+DEFAULT_SLO_TARGET = 0.999
 DEFAULT_NETWORKS: Tuple[Tuple[str, NetworkConfig], ...] = (
     ("ethernet", NetworkConfig.ethernet()),
     ("atm", NetworkConfig.atm()))
@@ -109,6 +113,77 @@ def build_report(app_result, cpu_mhz: float, protocol: str,
         max_us=latencies[-1] if latencies else 0.0,
         slo_us=slo_us,
         slo_attainment=attained / completed if completed else 0.0)
+
+
+@dataclass(frozen=True)
+class WindowReport:
+    """One time window of a serving run's latency series."""
+
+    index: int
+    t0_us: float
+    t1_us: float
+    completed: int
+    p50_us: float
+    p99_us: float
+    slo_violations: int
+    burn_rate: float
+
+
+def windowed_reports(app_result, cpu_mhz: float, window_us: float,
+                     slo_us: float = DEFAULT_SLO_US,
+                     slo_target: float = DEFAULT_SLO_TARGET
+                     ) -> List[WindowReport]:
+    """Post-hoc windowing of a run's request records: per-window
+    completions, nearest-rank p50/p99, and SLO burn rate.
+
+    Requests group into the fixed grid ``[k*w, (k+1)*w)`` by
+    *completion* time (matching the live
+    :class:`repro.obs.TimeseriesSampler`, which observes a request
+    when it finishes), latencies measured from the scheduled arrival.
+    Being a pure function of the cached ``app_result``, this powers
+    the report timeline without re-running anything."""
+    if not window_us > 0:
+        raise ValueError(f"window must be > 0 µs, got {window_us}")
+    if not 0.0 < slo_target < 1.0:
+        raise ValueError(
+            f"SLO target must be within (0, 1), got {slo_target}")
+    records = request_records(app_result)
+    if not records:
+        return []
+    window_cycles = window_us * cpu_mhz
+    by_window: Dict[int, List[float]] = {}
+    for _id, _key, _w, arrival, _s, done in records:
+        by_window.setdefault(int(done // window_cycles), []).append(
+            (done - arrival) / cpu_mhz)
+    out: List[WindowReport] = []
+    for index in range(max(by_window) + 1):
+        latencies = sorted(by_window.get(index, []))
+        completed = len(latencies)
+        violations = sum(1 for lat in latencies if lat > slo_us)
+        out.append(WindowReport(
+            index=index,
+            t0_us=index * window_us,
+            t1_us=(index + 1) * window_us,
+            completed=completed,
+            p50_us=percentile(latencies, 50) if latencies else 0.0,
+            p99_us=percentile(latencies, 99) if latencies else 0.0,
+            slo_violations=violations,
+            burn_rate=(violations / completed / (1.0 - slo_target)
+                       if completed else 0.0)))
+    return out
+
+
+def format_window_table(windows: Sequence[WindowReport]) -> str:
+    """Fixed-width rendering of a windowed latency series."""
+    lines = [f"{'win':>4s} {'t0us':>9s} {'t1us':>9s} {'done':>5s} "
+             f"{'p50us':>8s} {'p99us':>8s} {'viol':>5s} "
+             f"{'burn':>7s}"]
+    for w in windows:
+        lines.append(
+            f"{w.index:4d} {w.t0_us:9.0f} {w.t1_us:9.0f} "
+            f"{w.completed:5d} {w.p50_us:8.1f} {w.p99_us:8.1f} "
+            f"{w.slo_violations:5d} {w.burn_rate:7.2f}")
+    return "\n".join(lines)
 
 
 def _serve_params(scale: str, rate_rps: float,

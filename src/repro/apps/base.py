@@ -93,6 +93,7 @@ class EventDrivenApplication(Application):
                 "serve.queue_wait_cycles").labels()
         else:
             requests_total = latency_hist = queue_hist = None
+        sampler = api._node.machine.sampler
         records = []
         for request in self.schedule(proc, shared):
             arrival = config.us_to_cycles(request.arrival_us)
@@ -107,6 +108,8 @@ class EventDrivenApplication(Application):
             yield from self.handle_request(api, proc, shared, request)
             done = api.now
             latency = done - arrival
+            if sampler is not None:
+                sampler.record_request(latency)
             if tracer:
                 tracer.emit("req.done", req=request.req_id,
                             node=proc, key=request.key,

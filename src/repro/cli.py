@@ -118,6 +118,37 @@ def _unit_fraction(text: str) -> float:
     return value
 
 
+def _window_us(text: str) -> float:
+    """Argparse type for the telemetry window: microseconds, strictly
+    positive.  (The companion check — a window smaller than the
+    scheduler tick — needs the machine's clock rate, so it happens at
+    sampler bind time and surfaces as a clean error too.)"""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a window in microseconds, got {text!r}")
+    if not value > 0:
+        raise argparse.ArgumentTypeError(
+            f"window must be > 0 µs, got {value}")
+    return value
+
+
+def _slo_target(text: str) -> float:
+    """Argparse type for the SLO attainment target: strictly inside
+    (0, 1) — at 1.0 the burn rate divides by zero, at 0 every window
+    trivially passes."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an SLO target, got {text!r}")
+    if not 0.0 < value < 1.0:
+        raise argparse.ArgumentTypeError(
+            f"SLO target must be within (0, 1), got {value}")
+    return value
+
+
 def _zipf_exponent(text: str) -> float:
     """Argparse type for the Zipf skew: >= 0 (0 = uniform keys)."""
     try:
@@ -571,6 +602,105 @@ def cmd_servesweep(args) -> int:
     return 0
 
 
+def _timeseries_run(args, with_trace: bool = False):
+    """Execute one run with a :class:`TimeseriesSampler` attached.
+    Sampling is a side effect, so the run executes in-process and
+    bypasses the lab cache (like ``trace`` and ``profile``).  With no
+    app named, runs the kvstore serving workload so the request series
+    (p50/p99, burn rate) is populated."""
+    from repro.obs import TimeseriesSampler
+
+    try:
+        sampler = TimeseriesSampler(window_us=args.window_us,
+                                    slo_us=args.slo_us,
+                                    slo_target=args.slo_target)
+    except ValueError as exc:
+        raise SystemExit(f"timeseries: {exc}")
+    if args.app is None:
+        from repro.serve.workload import SERVE_APP_PARAMS
+        params = dict(SERVE_APP_PARAMS[args.scale])
+        params["rate_rps"] = args.rate
+        if args.requests is not None:
+            if args.requests < 1:
+                raise SystemExit(
+                    f"timeseries: need at least one request, "
+                    f"got {args.requests}")
+            params["requests"] = args.requests
+        app = create_app("kvstore", **params)
+        label = "kvstore"
+    else:
+        app = _app(args)
+        label = args.app
+    sink = None
+    obs = None
+    if with_trace:
+        from repro.obs import MemorySink, Observability, Tracer
+        sink = MemorySink()
+        obs = Observability(tracer=Tracer(sink))
+    try:
+        run_app(app, _config(args), protocol=args.protocol, obs=obs,
+                sampler=sampler)
+    except ValueError as exc:
+        # bind() rejects windows finer than the scheduler tick.
+        raise SystemExit(f"timeseries: {exc}")
+    return sampler, sink, label
+
+
+def cmd_timeseries_report(args) -> int:
+    """Windowed telemetry table for one run: per-window events,
+    messages, wire bytes, lock wait, queue depth, and — for the
+    serving workload — completions, p50/p99, and SLO burn rate
+    (docs/observability.md)."""
+    from repro.obs import format_timeseries_table
+
+    sampler, _sink, label = _timeseries_run(args)
+    print(f"{label} on {args.procs} procs ({args.protocol}/"
+          f"{args.network}), {args.window_us:g} µs windows, "
+          f"SLO {args.slo_us:g} µs at {args.slo_target:g}")
+    print(format_timeseries_table(sampler))
+    windows = sampler.windows
+    served = [w for w in windows if w.requests]
+    print(f"\n{len(windows)} windows, "
+          f"{sum(w.events for w in windows)} events")
+    if served:
+        print(f"peak p99 {max(w.p99_us for w in served):.1f} µs, "
+              f"peak burn rate "
+              f"{max(w.burn_rate for w in served):.2f}")
+    return 0
+
+
+def cmd_timeseries_export(args) -> int:
+    """Export windowed telemetry as schema-versioned JSON; with
+    ``--chrome FILE`` also write the run's Perfetto trace with the
+    windows as counter tracks (docs/tracing.md)."""
+    from repro.obs import (CausalTrace, chrome_trace,
+                           validate_chrome_trace)
+
+    sampler, sink, _label = _timeseries_run(
+        args, with_trace=bool(args.chrome))
+    with open(args.out, "w") as handle:
+        handle.write(sampler.as_json() + "\n")
+    print(f"wrote {args.out}: {len(sampler.windows)} windows of "
+          f"{args.window_us:g} µs")
+    if args.chrome:
+        exported = chrome_trace(CausalTrace(sink.events),
+                                timeseries=sampler)
+        errors = validate_chrome_trace(exported)
+        if errors:
+            for error in errors:
+                print(f"schema error: {error}", file=sys.stderr)
+            return 1
+        with open(args.chrome, "w") as handle:
+            json.dump(exported, handle)
+            handle.write("\n")
+        counters = sum(1 for e in exported["traceEvents"]
+                       if e.get("ph") == "C")
+        print(f"wrote {args.chrome}: "
+              f"{len(exported['traceEvents'])} trace events, "
+              f"{counters} counter samples")
+    return 0
+
+
 def _causal_trace(args):
     """A :class:`repro.obs.CausalTrace` for the trace subcommands:
     replay ``--from FILE`` if given, else simulate the requested run
@@ -864,6 +994,55 @@ def build_parser() -> argparse.ArgumentParser:
     p_ssweep.add_argument("--out", default=None, metavar="FILE",
                           help="save the sweep curves as JSON")
     p_ssweep.set_defaults(func=cmd_servesweep, procs=4, scale="small")
+
+    p_ts = sub.add_parser(
+        "timeseries",
+        help="windowed telemetry: per-window events/messages/bytes, "
+             "serving p50/p99 and SLO burn rate, JSON + Perfetto "
+             "counter-track export")
+    ts_sub = p_ts.add_subparsers(dest="action", required=True)
+
+    def timeseries_common(p):
+        common(p, app_optional=True)
+        p.add_argument("--window-us", type=_window_us, default=200.0,
+                       dest="window_us", metavar="US",
+                       help="telemetry window in simulated µs (> 0 "
+                            "and at least one scheduler tick; "
+                            "default: 200)")
+        p.add_argument("--rate", type=_positive_rate,
+                       default=40_000.0, metavar="RPS",
+                       help="offered load for the default kvstore "
+                            "workload (default: 40000)")
+        p.add_argument("--requests", type=int, default=None,
+                       help="override the scaled request count "
+                            "(kvstore workload only)")
+        p.add_argument("--slo-us", type=_nonnegative_us,
+                       default=500.0, dest="slo_us", metavar="US",
+                       help="latency SLO for the burn-rate series "
+                            "(default: 500 µs)")
+        p.add_argument("--slo-target", type=_slo_target,
+                       default=0.999, dest="slo_target",
+                       metavar="FRAC",
+                       help="SLO attainment target in (0, 1) "
+                            "(default: 0.999)")
+        p.set_defaults(procs=4, scale="small")
+
+    p_tsrep = ts_sub.add_parser("report",
+                                help=cmd_timeseries_report.__doc__)
+    timeseries_common(p_tsrep)
+    p_tsrep.set_defaults(func=cmd_timeseries_report)
+
+    p_tsexp = ts_sub.add_parser("export",
+                                help=cmd_timeseries_export.__doc__)
+    timeseries_common(p_tsexp)
+    p_tsexp.add_argument("--out", default="timeseries.json",
+                         metavar="FILE",
+                         help="windowed-telemetry JSON output "
+                              "(default: timeseries.json)")
+    p_tsexp.add_argument("--chrome", default=None, metavar="FILE",
+                         help="also write the Perfetto trace with "
+                              "counter tracks")
+    p_tsexp.set_defaults(func=cmd_timeseries_export)
 
     p_trace = sub.add_parser(
         "trace",

@@ -30,7 +30,8 @@ class Machine:
     def __init__(self, config: MachineConfig, protocol: str = "lh",
                  protocol_options: Optional[dict] = None,
                  lock_broadcast: bool = False,
-                 obs: Optional[Observability] = None) -> None:
+                 obs: Optional[Observability] = None,
+                 sampler=None) -> None:
         from repro.protocols.registry import create_protocol
         from repro.sync.barriers import BarrierManager
         from repro.sync.locks import LockManager
@@ -50,6 +51,13 @@ class Machine:
             "nprocs": str(config.nprocs),
         })
         self.sim.attach_obs(self.obs)
+        # Windowed telemetry (docs/observability.md): a
+        # TimeseriesSampler rides along as a side channel like the
+        # tracer — read-only, schedules nothing, and absent by default
+        # so unsampled runs take the unmodified dispatch loops.
+        self.sampler = sampler
+        if sampler is not None:
+            sampler.bind(self)
         self.network = build_network(self.sim, config)
         # Robustness layer (docs/robustness.md): with any fault
         # configured, the network gets a seeded injector and node
@@ -260,6 +268,8 @@ class Machine:
             # fails loudly instead of spinning.
             max_events = 5_000_000
         self.sim.run_until(self._done, max_events=max_events)
+        if self.sampler is not None:
+            self.sampler.finish(self.sim.now)
         if not self._all_finished():
             if not allow_unfinished:
                 unfinished = [i for i, t in enumerate(self._finished)

@@ -23,16 +23,18 @@ def run_app(app, config: MachineConfig, protocol: str = "lh",
             max_events: Optional[int] = None,
             protocol_options: Optional[dict] = None,
             lock_broadcast: bool = False,
-            obs=None) -> RunResult:
+            obs=None, sampler=None) -> RunResult:
     """Simulate ``app`` on a machine described by ``config``.
 
     ``obs`` optionally supplies a pre-built
     :class:`repro.obs.Observability` context (e.g. one carrying a JSONL
-    trace sink); by default the machine creates its own."""
+    trace sink); by default the machine creates its own.  ``sampler``
+    optionally attaches a :class:`repro.obs.TimeseriesSampler` that
+    records windowed telemetry as the run executes."""
     machine = Machine(config, protocol=protocol,
                       protocol_options=protocol_options,
                       lock_broadcast=lock_broadcast,
-                      obs=obs)
+                      obs=obs, sampler=sampler)
     shared = app.setup(machine)
 
     def factory(proc: int):

@@ -24,6 +24,9 @@ from repro.obs.registry import (DEFAULT_BUCKETS, Metric, MetricError,
 from repro.obs.causal import CausalGraph, CausalTrace
 from repro.obs.chrome_trace import chrome_trace, validate_chrome_trace
 from repro.obs.timers import Span
+from repro.obs.timeseries import (TIMESERIES_SCHEMA, TimeseriesSampler,
+                                  Window, format_timeseries_table,
+                                  merge_windows)
 from repro.obs.tracer import (TRACE_EVENTS, JsonlSink, MemorySink,
                               NullSink, TraceEvent, TraceSink, Tracer,
                               read_jsonl)
@@ -35,10 +38,12 @@ __all__ = [
     "MetricError", "MetricSpec",
     "MetricsRegistry", "NodeInstruments", "NullSink", "Observability",
     "ROBUSTNESS_CATALOG", "SERVE_CATALOG", "SYNC_MSG_TYPES", "Span",
-    "TRACE_EVENTS", "TraceEvent",
-    "TraceSink", "Tracer", "chrome_trace", "install_catalog",
+    "TIMESERIES_SCHEMA", "TRACE_EVENTS", "TimeseriesSampler",
+    "TraceEvent", "TraceSink", "Tracer", "Window", "chrome_trace",
+    "format_timeseries_table", "install_catalog",
     "install_lab", "install_mem", "install_robustness",
-    "install_serve", "read_jsonl", "validate_chrome_trace",
+    "install_serve", "merge_windows", "read_jsonl",
+    "validate_chrome_trace",
 ]
 
 

@@ -8,6 +8,10 @@ Layout:
   misses;
 - process 2, "network": one track per destination port, carrying the
   wire occupancy of every transmission;
+- process 3, "telemetry" (only when a timeseries sampler is passed):
+  counter (``C``) tracks sampled per window — events dispatched,
+  messages, wire KB, lock wait, queue depth, and the serving series
+  (requests, p99 µs, SLO burn rate);
 - flow events (``s``/``f``) arrow every message from its sender's
   track to its receiver's track, keyed by message id.
 
@@ -24,6 +28,7 @@ from repro.obs.causal import CausalTrace
 
 _PID_PROCS = 1
 _PID_NET = 2
+_PID_TELEMETRY = 3
 
 
 def _meta(pid: int, tid: Optional[int], name: str,
@@ -45,8 +50,40 @@ def _slice(pid: int, tid: int, name: str, ts: float, dur: float,
     return event
 
 
-def chrome_trace(trace: CausalTrace) -> Dict[str, Any]:
-    """Render ``trace`` as a Chrome trace-event JSON object."""
+def _counter(name: str, ts: float, value: float) -> Dict[str, Any]:
+    return {"ph": "C", "pid": _PID_TELEMETRY, "name": name,
+            "cat": "telemetry", "ts": ts, "args": {"value": value}}
+
+
+def _counter_tracks(timeseries) -> List[Dict[str, Any]]:
+    """Counter (``C``) events for a :class:`TimeseriesSampler`'s
+    windows, one sample per window at the window's start.  Perfetto
+    draws each named counter as a stepped track under the telemetry
+    process."""
+    events: List[Dict[str, Any]] = [
+        _meta(_PID_TELEMETRY, None, "telemetry", "process_name")]
+    serving = any(w.requests for w in timeseries.windows)
+    for w in timeseries.windows:
+        ts = w.t0_cycles
+        events.append(_counter("events dispatched", ts, w.events))
+        events.append(_counter("messages", ts,
+                               sum(w.messages.values())))
+        events.append(_counter("wire KB", ts, w.wire_bytes / 1024))
+        events.append(_counter("lock wait cycles", ts,
+                               w.lock_wait_cycles))
+        events.append(_counter("queue depth", ts, w.queue_depth))
+        if serving:
+            events.append(_counter("requests", ts, w.requests))
+            events.append(_counter("p99 us", ts, w.p99_us))
+            events.append(_counter("SLO burn rate", ts, w.burn_rate))
+    return events
+
+
+def chrome_trace(trace: CausalTrace,
+                 timeseries=None) -> Dict[str, Any]:
+    """Render ``trace`` as a Chrome trace-event JSON object.  With a
+    bound :class:`repro.obs.TimeseriesSampler` in ``timeseries``, the
+    export also carries its windows as counter tracks."""
     events: List[Dict[str, Any]] = []
     procs = sorted(set(trace.computes) | set(trace.wakes)
                    | set(trace.finish)
@@ -118,6 +155,9 @@ def chrome_trace(trace: CausalTrace) -> Dict[str, Any]:
                        "tid": max(message.dst, 0),
                        "ts": message.recv_ts})
 
+    if timeseries is not None and timeseries.windows:
+        events.extend(_counter_tracks(timeseries))
+
     return {"traceEvents": events, "displayTimeUnit": "ms",
             "otherData": {"time_unit": "cycles"}}
 
@@ -159,6 +199,16 @@ def validate_chrome_trace(obj: Any) -> List[str]:
                 errors.append(f"{where}: X event needs dur >= 0")
             if not event.get("name"):
                 errors.append(f"{where}: X event without name")
+        elif ph == "C":
+            if not event.get("name"):
+                errors.append(f"{where}: counter event without name")
+            args = event.get("args")
+            if not isinstance(args, dict) or not args:
+                errors.append(f"{where}: counter event needs a "
+                              "non-empty args object")
+            elif not all(isinstance(v, (int, float))
+                         for v in args.values()):
+                errors.append(f"{where}: counter args must be numeric")
         elif ph in ("s", "f"):
             if "id" not in event:
                 errors.append(f"{where}: flow event without id")

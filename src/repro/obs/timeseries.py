@@ -1,0 +1,370 @@
+"""Windowed time-series telemetry: the registry, over time.
+
+Every number the registry reports is an end-of-run aggregate, so phase
+behaviour — update bursts at lock releases, barrier-synchronized
+message storms, crash-recovery dips, serving-latency transients — is
+invisible.  A :class:`TimeseriesSampler` fixes that: attached to a
+machine, it snapshots a fixed probe set (events dispatched, messages
+by kind, wire/data bytes, lock wait, diff bytes, pending-event depth,
+and — when the serving workload runs — per-window request completions
+with nearest-rank p50/p99 and SLO burn rate) every ``window_us`` of
+*simulated* time and emits **delta-encoded** windows: each window
+carries the activity inside ``[t0, t1)``, not the cumulative total.
+
+Window semantics (docs/observability.md):
+
+- Boundaries lie on the fixed grid ``k * window_cycles``.  The
+  scheduler closes all elapsed windows the moment a heap pop advances
+  the clock to or past a boundary, *before* the popped callback runs,
+  so an event dispatched exactly at a boundary lands in the window
+  that starts there.  A clock jump across several boundaries closes
+  one window holding the accrued deltas plus empty windows for the
+  fully-skipped periods — metric state only changes when events
+  dispatch, so the deltas genuinely belong to the window the jump
+  started in.
+- The run's trailing partial window ``[k * window_cycles, end]`` is
+  closed by :meth:`TimeseriesSampler.finish`.
+- ``queue_depth`` is a *gauge* (the pending-event count at the
+  window's closing boundary), everything else in a window is a delta.
+- Because boundaries are grid-aligned, merging ``k`` adjacent windows
+  (:func:`merge_windows`) reproduces exactly what sampling at
+  ``k * window_us`` would have recorded — the associativity property
+  ``tests/properties/test_timeseries_merge.py`` pins.
+
+Zero overhead when disabled: a machine without a sampler takes the
+unmodified fast dispatch loops (one ``is None`` check per *run*, not
+per event) and the serving pump's ``if sampler is not None:`` guard
+never fires — the 19 golden dumps stay byte-identical and
+``benchmarks/test_perf_core.py`` bounds the instrumented-but-disabled
+configuration under 1%.  Enabled sampling is pure observation: it
+schedules nothing and only reads, so the simulation's event sequence,
+metrics, and :class:`~repro.core.metrics.RunResult` are *identical*
+with and without it (``tests/obs/test_timeseries.py`` asserts the
+canonical dumps match byte for byte).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+#: Bumped whenever the exported window layout changes.
+TIMESERIES_SCHEMA = "repro.obs.timeseries/1"
+
+#: Default SLO latency threshold (µs) and attainment target; the burn
+#: rate of a window is ``violation_fraction / (1 - slo_target)`` — the
+#: SRE convention where 1.0 means "spending error budget exactly as
+#: fast as the target allows".
+DEFAULT_SLO_US = 500.0
+DEFAULT_SLO_TARGET = 0.999
+
+
+def _percentile(values: List[float], p: float) -> float:
+    """Nearest-rank percentile of an already-sorted list (the serving
+    convention, see :func:`repro.analysis.serving.percentile`)."""
+    if not values:
+        return 0.0
+    rank = max(1, math.ceil(p / 100.0 * len(values)))
+    return float(values[rank - 1])
+
+
+@dataclass
+class Window:
+    """One closed sampling window ``[t0, t1)`` of delta-encoded
+    activity.  ``latencies_us`` (the raw request latencies completed in
+    the window, sorted) stays out of :meth:`to_dict` — it exists so
+    :func:`merge_windows` can recompute exact percentiles."""
+
+    index: int
+    t0_cycles: float
+    t1_cycles: float
+    events: int
+    messages: Dict[str, float]
+    wire_bytes: float
+    data_bytes: float
+    lock_wait_cycles: float
+    diff_bytes: float
+    queue_depth: int
+    requests: int
+    slo_violations: int
+    p50_us: float
+    p99_us: float
+    burn_rate: float
+    latencies_us: List[float] = field(default_factory=list, repr=False)
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "t0_cycles": self.t0_cycles,
+            "t1_cycles": self.t1_cycles,
+            "events": self.events,
+            "messages": dict(sorted(self.messages.items())),
+            "wire_bytes": self.wire_bytes,
+            "data_bytes": self.data_bytes,
+            "lock_wait_cycles": self.lock_wait_cycles,
+            "diff_bytes": self.diff_bytes,
+            "queue_depth": self.queue_depth,
+            "requests": self.requests,
+            "slo_violations": self.slo_violations,
+            "p50_us": self.p50_us,
+            "p99_us": self.p99_us,
+            "burn_rate": self.burn_rate,
+        }
+
+
+def _request_stats(latencies_us: List[float], slo_us: float,
+                   slo_target: float):
+    """(requests, violations, p50, p99, burn) of one window's sorted
+    latency list."""
+    requests = len(latencies_us)
+    violations = sum(1 for lat in latencies_us if lat > slo_us)
+    burn = (violations / requests / (1.0 - slo_target)
+            if requests else 0.0)
+    return (requests, violations, _percentile(latencies_us, 50),
+            _percentile(latencies_us, 99), burn)
+
+
+class TimeseriesSampler:
+    """Samples a machine's metrics registry on the simulated-time grid.
+
+    Construct with the window size (and SLO parameters for the serving
+    probes), then hand it to :func:`repro.core.runner.run_app` (or
+    :class:`repro.core.machine.Machine`) via the ``sampler`` keyword —
+    the machine calls :meth:`bind`, the scheduler's sampled dispatch
+    loop calls :meth:`advance_to` on boundary crossings, the serving
+    pump feeds :meth:`record_request`, and the machine closes the
+    trailing window with :meth:`finish` when the run ends.
+    """
+
+    def __init__(self, window_us: float,
+                 slo_us: float = DEFAULT_SLO_US,
+                 slo_target: float = DEFAULT_SLO_TARGET) -> None:
+        if not window_us > 0:
+            raise ValueError(
+                f"window must be > 0 µs, got {window_us}")
+        if not slo_us > 0:
+            raise ValueError(f"SLO must be > 0 µs, got {slo_us}")
+        if not 0.0 < slo_target < 1.0:
+            raise ValueError(
+                f"SLO target must be within (0, 1), got {slo_target}")
+        self.window_us = float(window_us)
+        self.slo_us = float(slo_us)
+        self.slo_target = float(slo_target)
+        self.windows: List[Window] = []
+        self.window_cycles: float = 0.0
+        self.next_boundary: float = math.inf
+        self.cpu_mhz: float = 0.0
+        self._sim = None
+        self._registry = None
+        self._word_size = 8
+        self._origin = 0.0
+        self._window_start = 0.0
+        self._last: Optional[dict] = None
+        self._latencies: List[float] = []
+
+    # -- machine wiring ------------------------------------------------
+
+    def bind(self, machine) -> None:
+        """Resolve the probe handles against one machine and arm the
+        first boundary.  Rejects windows finer than the scheduler's
+        resolution (one cycle) — a grid the clock can never land on."""
+        config = machine.config
+        # µs × cycles/µs, computed directly (not through the
+        # seconds-based helper) so integral windows stay exact floats:
+        # the grid k * window_cycles must be reproducible across
+        # window sizes for the merge law to hold bit-for-bit.
+        self.window_cycles = self.window_us * config.cpu_mhz
+        if self.window_cycles < 1.0:
+            raise ValueError(
+                f"window of {self.window_us} µs is "
+                f"{self.window_cycles:.3f} cycles at "
+                f"{config.cpu_mhz:g} MHz — smaller than the scheduler "
+                "tick (1 cycle)")
+        self.cpu_mhz = config.cpu_mhz
+        self._word_size = config.word_size
+        self._sim = machine.sim
+        self._registry = machine.obs.registry
+        self._origin = machine.sim.now
+        self._window_start = machine.sim.now
+        self.next_boundary = self._origin + self.window_cycles
+        self._last = self._snapshot()
+        machine.sim.attach_sampler(self)
+
+    def _snapshot(self) -> dict:
+        """Cumulative probe values.  Every probe is *live* mid-run:
+        the message/byte/lock/diff metrics are incremented per event
+        by pre-bound registry children, and the sampled dispatch loop
+        maintains ``processed_events`` per event (the batched obs
+        counter flushes only at loop exit, so it is not read here)."""
+        registry = self._registry
+        return {
+            "events": self._sim.processed_events,
+            "messages": registry.get(
+                "dsm.messages_total").by_label("msg_type"),
+            "wire_bytes": registry.get("net.wire_bytes_total").total(),
+            "data_bytes": registry.get("net.data_bytes_total").total(),
+            "lock_wait_cycles": registry.get(
+                "sync.lock_wait_cycles").total(),
+            "diff_bytes": registry.get("dsm.diff_words_total").total()
+            * self._word_size,
+        }
+
+    # -- sampling hooks (scheduler / serving pump) ---------------------
+
+    def advance_to(self, time: float) -> float:
+        """Close every window whose boundary is at or before ``time``;
+        returns the new next boundary.  Called by the sampled dispatch
+        loop on the heap pop that advances the clock, *before* the
+        popped callback runs."""
+        boundary = self.next_boundary
+        while time >= boundary:
+            self._close(boundary)
+            # Boundaries come from the window index, not accumulation:
+            # k * window_cycles is bit-identical however the grid is
+            # walked, so merged fine windows line up exactly with a
+            # coarser sampler's.
+            boundary = (self._origin
+                        + (len(self.windows) + 1) * self.window_cycles)
+        self.next_boundary = boundary
+        return boundary
+
+    def record_request(self, latency_cycles: float) -> None:
+        """One serving request completed ``latency_cycles`` after its
+        scheduled arrival (fed by the serving pump under an
+        ``if sampler is not None:`` guard)."""
+        self._latencies.append(latency_cycles / self.cpu_mhz)
+
+    def finish(self, now: float) -> None:
+        """Close the trailing partial window (called by the machine
+        when the run ends).  A zero-length window is emitted only when
+        same-cycle events landed after the last boundary."""
+        if self._last is None:
+            return
+        if now > self._window_start or self._has_residual():
+            self._close(now)
+
+    def _has_residual(self) -> bool:
+        snap = self._snapshot()
+        return snap != self._last or bool(self._latencies)
+
+    def _close(self, t1: float) -> None:
+        snap = self._snapshot()
+        last = self._last
+        messages = {
+            kind: count - last["messages"].get(kind, 0)
+            for kind, count in snap["messages"].items()
+            if count - last["messages"].get(kind, 0)}
+        latencies = sorted(self._latencies)
+        self._latencies = []
+        (requests, violations, p50,
+         p99, burn) = _request_stats(latencies, self.slo_us,
+                                     self.slo_target)
+        self.windows.append(Window(
+            index=len(self.windows),
+            t0_cycles=self._window_start,
+            t1_cycles=t1,
+            events=snap["events"] - last["events"],
+            messages=messages,
+            wire_bytes=snap["wire_bytes"] - last["wire_bytes"],
+            data_bytes=snap["data_bytes"] - last["data_bytes"],
+            lock_wait_cycles=(snap["lock_wait_cycles"]
+                              - last["lock_wait_cycles"]),
+            diff_bytes=snap["diff_bytes"] - last["diff_bytes"],
+            queue_depth=self._sim.pending,
+            requests=requests,
+            slo_violations=violations,
+            p50_us=p50,
+            p99_us=p99,
+            burn_rate=burn,
+            latencies_us=latencies,
+        ))
+        self._window_start = t1
+        self._last = snap
+
+    # -- export --------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """The schema-versioned export ``repro timeseries export``
+        writes (see docs/observability.md)."""
+        return {
+            "schema": TIMESERIES_SCHEMA,
+            "window_us": self.window_us,
+            "window_cycles": self.window_cycles,
+            "cpu_mhz": self.cpu_mhz,
+            "slo_us": self.slo_us,
+            "slo_target": self.slo_target,
+            "windows": [window.to_dict() for window in self.windows],
+        }
+
+    def as_json(self, indent: int = 1) -> str:
+        return json.dumps(self.to_dict(), indent=indent,
+                          sort_keys=True)
+
+
+def merge_windows(windows: List[Window], factor: int,
+                  slo_us: float = DEFAULT_SLO_US,
+                  slo_target: float = DEFAULT_SLO_TARGET
+                  ) -> List[Window]:
+    """Merge each run of ``factor`` consecutive windows into one.
+
+    Deltas add, message maps add, the queue-depth gauge takes the last
+    member's value (both samplers read pending at the same closing
+    boundary), and request percentiles are recomputed from the
+    concatenated raw latencies — so the result equals what sampling at
+    ``factor * window_us`` would have produced, and merging composes:
+    ``merge(merge(w, a), b) == merge(w, a * b)``.
+    """
+    if factor < 1:
+        raise ValueError(f"merge factor must be >= 1, got {factor}")
+    merged: List[Window] = []
+    for start in range(0, len(windows), factor):
+        group = windows[start:start + factor]
+        messages: Dict[str, float] = {}
+        for window in group:
+            for kind, count in window.messages.items():
+                messages[kind] = messages.get(kind, 0) + count
+        latencies = sorted(lat for window in group
+                           for lat in window.latencies_us)
+        (requests, violations, p50,
+         p99, burn) = _request_stats(latencies, slo_us, slo_target)
+        merged.append(Window(
+            index=len(merged),
+            t0_cycles=group[0].t0_cycles,
+            t1_cycles=group[-1].t1_cycles,
+            events=sum(w.events for w in group),
+            messages=messages,
+            wire_bytes=sum(w.wire_bytes for w in group),
+            data_bytes=sum(w.data_bytes for w in group),
+            lock_wait_cycles=sum(w.lock_wait_cycles for w in group),
+            diff_bytes=sum(w.diff_bytes for w in group),
+            queue_depth=group[-1].queue_depth,
+            requests=requests,
+            slo_violations=violations,
+            p50_us=p50,
+            p99_us=p99,
+            burn_rate=burn,
+            latencies_us=latencies,
+        ))
+    return merged
+
+
+def format_timeseries_table(sampler: TimeseriesSampler) -> str:
+    """Fixed-width rendering of a sampler's windows — what ``repro
+    timeseries report`` prints.  Times in µs at the bound machine's
+    clock rate."""
+    mhz = sampler.cpu_mhz or 1.0
+    lines = [f"{'t0us':>9s} {'t1us':>9s} {'events':>8s} "
+             f"{'msgs':>7s} {'wireKB':>8s} {'lockus':>8s} "
+             f"{'depth':>6s} {'reqs':>5s} {'p50us':>8s} "
+             f"{'p99us':>8s} {'burn':>7s}"]
+    for w in sampler.windows:
+        lines.append(
+            f"{w.t0_cycles / mhz:9.0f} {w.t1_cycles / mhz:9.0f} "
+            f"{w.events:8d} {sum(w.messages.values()):7.0f} "
+            f"{w.wire_bytes / 1024:8.2f} "
+            f"{w.lock_wait_cycles / mhz:8.1f} "
+            f"{w.queue_depth:6d} {w.requests:5d} "
+            f"{w.p50_us:8.1f} {w.p99_us:8.1f} {w.burn_rate:7.2f}")
+    return "\n".join(lines)

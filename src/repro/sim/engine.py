@@ -155,6 +155,12 @@ class Simulator:
         self._obs_events = None
         self._obs_queue_depth = None
         self.tracer = None
+        # Windowed telemetry (optional): a TimeseriesSampler attached
+        # by the machine.  The unsampled loops below never touch it —
+        # each run method checks it exactly once and hands off to
+        # _run_sampled, so a machine without a sampler pays one `is
+        # None` per *run call*, not per event.
+        self._sampler = None
 
     def attach_obs(self, obs) -> None:
         """Emit event-dispatch and queue-depth metrics to ``obs``.
@@ -164,6 +170,13 @@ class Simulator:
         self._obs_queue_depth = obs.registry.get(
             "sim.queue_depth_peak").labels()
         self.tracer = obs.tracer
+
+    def attach_sampler(self, sampler) -> None:
+        """Route subsequent runs through the sampled dispatch loop,
+        closing a telemetry window whenever a heap pop advances the
+        clock past ``sampler.next_boundary`` (see
+        :mod:`repro.obs.timeseries`)."""
+        self._sampler = sampler
 
     # -- scheduling ------------------------------------------------------
 
@@ -234,16 +247,75 @@ class Simulator:
             if time < self.now:
                 raise SimulationError("time went backwards")
             self.now = time
+            sampler = self._sampler
+            if sampler is not None and time >= sampler.next_boundary:
+                sampler.advance_to(time)
         callback(*args)
         self.processed_events += 1
         if self._obs_events is not None:
             self._obs_events.inc()
         return True
 
+    def _run_sampled(self, stop: Optional[Callable[[], bool]] = None,
+                     until: Optional[float] = None,
+                     max_events: Optional[int] = None) -> float:
+        """The dispatch loop with telemetry-window sampling: identical
+        pop rule, depth accounting, and stop conditions as the plain
+        loops, plus a boundary check on every clock advance.  Windows
+        close *before* the boundary-crossing callback runs, so an event
+        at exactly ``k * window`` lands in window ``k`` regardless of
+        the window size — the exact-merge property the timeseries tests
+        pin.  ``processed_events`` is maintained inline (per event)
+        rather than batch-flushed so the sampler's events probe is live
+        mid-run; the finally block flushes only the obs children."""
+        sampler = self._sampler
+        ready = self._ready
+        queue = self._queue
+        pop = heapq.heappop
+        popleft = ready.popleft
+        dispatched = 0
+        depth_peak = 0
+        now = self.now
+        try:
+            while ready or queue:
+                if stop is not None and stop():
+                    break
+                if until is not None:
+                    earliest = now if ready else queue[0][0]
+                    if earliest > until:
+                        self.now = until
+                        break
+                if max_events is not None and dispatched >= max_events:
+                    break
+                depth = len(ready) + len(queue)
+                if depth > depth_peak:
+                    depth_peak = depth
+                if ready and not (queue and queue[0][0] == now
+                                  and queue[0][1] < ready[0][0]):
+                    _seq, callback, args = popleft()
+                else:
+                    time, _seq, callback, args = pop(queue)
+                    if time < now:
+                        raise SimulationError("time went backwards")
+                    self.now = now = time
+                    if time >= sampler.next_boundary:
+                        sampler.advance_to(time)
+                callback(*args)
+                dispatched += 1
+                self.processed_events += 1
+        finally:
+            if self._obs_events is not None and dispatched:
+                self._obs_events.inc(dispatched)
+            if self._obs_queue_depth is not None:
+                self._obs_queue_depth.set_max(depth_peak)
+        return self.now
+
     def run(self, until: Optional[float] = None,
             max_events: Optional[int] = None) -> float:
         """Run until the queue drains, ``until`` is reached, or
         ``max_events`` have been processed.  Returns the final time."""
+        if self._sampler is not None:
+            return self._run_sampled(until=until, max_events=max_events)
         ready = self._ready
         queue = self._queue
         pop = heapq.heappop
@@ -283,6 +355,14 @@ class Simulator:
     def run_process(self, process: Process,
                     max_events: Optional[int] = None) -> Any:
         """Run until ``process`` completes; returns its return value."""
+        if self._sampler is not None:
+            self._run_sampled(stop=lambda: process.triggered,
+                              max_events=max_events)
+            if not process.triggered:
+                raise SimulationError(
+                    f"process {process.name!r} did not finish "
+                    f"(deadlock or max_events={max_events} exceeded)")
+            return process.value
         ready = self._ready
         queue = self._queue
         pop = heapq.heappop
@@ -326,6 +406,9 @@ class Simulator:
         Same loop as :meth:`run_process` with the stop condition as a
         plain attribute read — a callback-based stop predicate costs a
         Python call per dispatched event."""
+        if self._sampler is not None:
+            return self._run_sampled(stop=lambda: event.triggered,
+                                     max_events=max_events)
         ready = self._ready
         queue = self._queue
         pop = heapq.heappop
@@ -356,6 +439,8 @@ class Simulator:
 
     def run_all(self, stop: Optional[Callable[[], bool]] = None,
                 max_events: Optional[int] = None) -> float:
+        if self._sampler is not None:
+            return self._run_sampled(stop=stop, max_events=max_events)
         ready = self._ready
         queue = self._queue
         pop = heapq.heappop

@@ -1,0 +1,227 @@
+"""Bench regression sentinel: paired-median-ratio math, section
+verdicts, the read-modify-write summary file, and the CLI exit code."""
+
+import json
+
+import pytest
+
+from repro.core.config import MachineConfig, NetworkConfig
+from repro.lab.spec import RunSpec
+from repro.analysis.regression import (BENCH_SUMMARY_SCHEMA,
+                                       core_section, lab_section,
+                                       main, paired_median_ratio,
+                                       serving_section,
+                                       update_summary)
+
+
+def _core_record(round_rates, byte_identical=True):
+    return {
+        "events": 1000,
+        "events_per_second": 50_000.0,
+        "rate_spread": 0.02,
+        "tracer_nullsink_overhead": 0.001,
+        "byte_identical": byte_identical,
+        "round_rates": round_rates,
+        "workload": RunSpec(
+            "jacobi", {"n": 16, "iterations": 2}, protocol="li",
+            config=MachineConfig(nprocs=2,
+                                 network=NetworkConfig.atm()),
+        ).to_dict(),
+    }
+
+
+# -- paired median ratio ------------------------------------------------
+
+
+def test_paired_median_ratio_pairs_by_slot():
+    # Two interpreters, rates halved across the board -> ratio 0.5;
+    # the pairing is positional, not a comparison of pooled medians.
+    fresh = [[50.0, 60.0], [70.0, 80.0]]
+    base = [[100.0, 120.0], [140.0, 160.0]]
+    assert paired_median_ratio(fresh, base) == 0.5
+
+
+def test_paired_median_ratio_median_ignores_outlier_round():
+    # One lucky fresh round (10x) does not move the median verdict.
+    fresh = [[100.0, 100.0, 1000.0]]
+    base = [[100.0, 100.0, 100.0]]
+    assert paired_median_ratio(fresh, base) == 1.0
+
+
+def test_paired_median_ratio_drops_unmatched_tail():
+    # Fresh record sampled fewer rounds and fewer interpreters: the
+    # comparison covers only the common (interpreter, round) slots.
+    fresh = [[50.0]]
+    base = [[100.0, 999.0], [999.0]]
+    assert paired_median_ratio(fresh, base) == 0.5
+
+
+def test_paired_median_ratio_rejects_unpairable_records():
+    with pytest.raises(ValueError, match="no pairable rounds"):
+        paired_median_ratio([], [[100.0]])
+    with pytest.raises(ValueError, match="no pairable rounds"):
+        paired_median_ratio([[50.0]], [[0.0]])
+
+
+# -- core section verdicts ----------------------------------------------
+
+
+def test_core_section_ok_within_threshold():
+    record = _core_record([[95.0, 96.0]])
+    baseline = _core_record([[100.0, 100.0]])
+    section = core_section(record, baseline, threshold=0.10)
+    assert section["status"] == "ok"
+    assert section["median_ratio_vs_baseline"] == 0.95
+    assert section["threshold"] == 0.10
+
+
+def test_core_section_flags_regression():
+    record = _core_record([[80.0, 81.0]])
+    baseline = _core_record([[100.0, 100.0]])
+    section = core_section(record, baseline, threshold=0.10)
+    assert section["status"] == "regression"
+    assert "attribution" not in section  # only with attribute=True
+
+
+def test_core_section_flags_improvement():
+    section = core_section(_core_record([[130.0, 131.0]]),
+                           _core_record([[100.0, 100.0]]),
+                           threshold=0.10)
+    assert section["status"] == "improved"
+
+
+def test_core_section_anomaly_beats_rate_comparison():
+    # A non-byte-identical run is a correctness problem; no ratio is
+    # computed even though the rates would look fine.
+    section = core_section(_core_record([[100.0]],
+                                        byte_identical=False),
+                           _core_record([[100.0]]), threshold=0.10)
+    assert section["status"] == "anomaly"
+    assert "median_ratio_vs_baseline" not in section
+
+
+def test_core_section_missing_and_no_baseline():
+    assert core_section(None, None, 0.10) == {"status": "missing"}
+    section = core_section(_core_record([[100.0]]), None, 0.10)
+    assert section["status"] == "no-baseline"
+
+
+def test_core_section_regression_attribution():
+    # attribute=True re-profiles the recorded workload and attaches
+    # where the cycles went (shares over subsystem and protocol
+    # buckets, each summing to ~1 over the reported top slice).
+    section = core_section(_core_record([[50.0]]),
+                           _core_record([[100.0]]),
+                           threshold=0.10, attribute=True)
+    assert section["status"] == "regression"
+    hints = section["attribution"]
+    assert 1 <= len(hints["top_subsystems"]) <= 3
+    for hint in hints["top_subsystems"]:
+        assert 0.0 <= hint["share"] <= 1.0
+    assert hints["top_protocol_buckets"]
+
+
+# -- lab and serving sections -------------------------------------------
+
+
+def _lab_record(**overrides):
+    record = {
+        "parallel_speedup": 2.5, "effective_jobs": 4,
+        "executor_startup_seconds": 0.2, "warm_executed": 0,
+        "byte_identical": True,
+    }
+    record.update(overrides)
+    return record
+
+
+def test_lab_section_verdicts():
+    assert lab_section(None) == {"status": "missing"}
+    assert lab_section(_lab_record())["status"] == "ok"
+    assert lab_section(
+        _lab_record(parallel_speedup=0.9))["status"] == "regression"
+    assert lab_section(
+        _lab_record(byte_identical=False))["status"] == "anomaly"
+    # A warm cache that re-executed jobs is a caching bug, not slowness.
+    assert lab_section(
+        _lab_record(warm_executed=3))["status"] == "anomaly"
+
+
+def test_serving_section_capacity_per_cell():
+    sweep = {"cells": [
+        {"protocol": "lh", "network": "atm", "points": [
+            {"offered_rps": 10_000, "slo_attainment": 1.0},
+            {"offered_rps": 20_000, "slo_attainment": 0.95},
+            {"offered_rps": 40_000, "slo_attainment": 0.50},
+        ]},
+        {"protocol": "eu", "network": "eth", "points": [
+            {"offered_rps": 10_000, "slo_attainment": 0.2},
+        ]},
+    ]}
+    section = serving_section(sweep, attainment=0.9)
+    assert section["status"] == "ok"
+    lh, eu = section["cells"]
+    assert lh["capacity_rps"] == 20_000  # highest rate still >= 0.9
+    assert lh["rates_probed"] == 3
+    assert eu["capacity_rps"] == 0.0     # never met the target
+    assert serving_section(None) == {"status": "missing"}
+
+
+# -- summary file and CLI -----------------------------------------------
+
+
+def test_update_summary_read_modify_write(tmp_path):
+    out = tmp_path / "BENCH_summary.json"
+    update_summary(out, "core", {"status": "ok"})
+    update_summary(out, "lab", {"status": "missing"})
+    summary = json.loads(out.read_text())
+    assert summary["schema"] == BENCH_SUMMARY_SCHEMA
+    assert summary["sections"] == {"core": {"status": "ok"},
+                                   "lab": {"status": "missing"}}
+    # Re-writing a section replaces it without touching the others.
+    update_summary(out, "core", {"status": "regression"})
+    summary = json.loads(out.read_text())
+    assert summary["sections"]["core"] == {"status": "regression"}
+    assert summary["sections"]["lab"] == {"status": "missing"}
+
+
+def test_update_summary_discards_foreign_schema(tmp_path):
+    out = tmp_path / "BENCH_summary.json"
+    out.write_text(json.dumps({"schema": "something-else/9",
+                               "sections": {"core": {"x": 1}}}))
+    update_summary(out, "lab", {"status": "ok"})
+    summary = json.loads(out.read_text())
+    assert summary["schema"] == BENCH_SUMMARY_SCHEMA
+    assert summary["sections"] == {"lab": {"status": "ok"}}
+
+
+def _write(path, record):
+    path.write_text(json.dumps(record))
+    return str(path)
+
+
+def test_main_exit_codes(tmp_path, capsys):
+    core = _write(tmp_path / "core.json", _core_record([[100.0]]))
+    base = _write(tmp_path / "base.json", _core_record([[100.0]]))
+    out = tmp_path / "BENCH_summary.json"
+    argv = ["--core", core, "--core-baseline", base,
+            "--core32", str(tmp_path / "absent.json"),
+            "--lab", str(tmp_path / "absent.json"),
+            "--out", str(out)]
+    assert main(argv) == 0
+    printed = capsys.readouterr().out
+    assert "core: ok" in printed
+    assert "core32: missing" in printed
+    summary = json.loads(out.read_text())
+    assert summary["schema"] == BENCH_SUMMARY_SCHEMA
+    assert set(summary["sections"]) == {"core", "core32", "lab",
+                                        "serving"}
+
+    # Doctor a regression into the fresh record: non-zero exit.
+    slow = _write(tmp_path / "slow.json", _core_record([[50.0]]))
+    assert main(["--core", slow, "--core-baseline", base,
+                 "--core32", str(tmp_path / "absent.json"),
+                 "--lab", str(tmp_path / "absent.json"),
+                 "--out", str(out)]) == 1
+    assert "FAIL" in capsys.readouterr().out
+    assert (json.loads(out.read_text())["sections"]["core"]["status"]
+            == "regression")

@@ -168,3 +168,91 @@ def test_requests_index_links_arrive_and_done():
             record.done_ts - record.arrival)
         assert record.queue_wait == pytest.approx(
             record.start_ts - record.arrival)
+
+
+# -- windowed latency series (docs/observability.md) --------------------
+
+
+def test_windowed_reports_hand_fixture():
+    # 40 cycles/µs, 100 µs windows (4000 cycles).  Completions at
+    # 400, 4400, and 8400 cycles land in windows 0, 1, and 2;
+    # latencies 10 µs, 100 µs, and 150 µs against a 50 µs SLO at a
+    # 0.9 target give burn rates 0, 10, 10 (violating fraction / 0.1).
+    from repro.analysis.serving import windowed_reports
+
+    app_result = [
+        {"proc": 0, "requests": [[0, 1, 1, 0.0, 0.0, 400.0],
+                                 [2, 3, 0, 2400.0, 2400.0, 8400.0]]},
+        {"proc": 1, "requests": [[1, 2, 0, 400.0, 400.0, 4400.0]]},
+    ]
+    windows = windowed_reports(app_result, cpu_mhz=40.0,
+                               window_us=100.0, slo_us=50.0,
+                               slo_target=0.9)
+    assert [w.completed for w in windows] == [1, 1, 1]
+    assert windows[0].t0_us == 0.0 and windows[0].t1_us == 100.0
+    assert windows[0].p99_us == pytest.approx(10.0)
+    assert windows[0].burn_rate == 0.0
+    assert windows[1].p50_us == pytest.approx(100.0)
+    assert windows[1].burn_rate == pytest.approx(10.0)
+    assert windows[2].p99_us == pytest.approx(150.0)
+    assert windows[2].slo_violations == 1
+
+
+def test_windowed_reports_emits_empty_windows_between():
+    from repro.analysis.serving import windowed_reports
+
+    app_result = [{"proc": 0,
+                   "requests": [[0, 1, 0, 0.0, 0.0, 400.0],
+                                [1, 1, 0, 0.0, 0.0, 12400.0]]}]
+    windows = windowed_reports(app_result, cpu_mhz=40.0,
+                               window_us=100.0)
+    assert len(windows) == 4  # completions in windows 0 and 3
+    assert [w.completed for w in windows] == [1, 0, 0, 1]
+    assert windows[1].burn_rate == 0.0
+    assert windows[1].p99_us == 0.0
+
+
+def test_windowed_reports_validation_and_empty():
+    from repro.analysis.serving import windowed_reports
+
+    assert windowed_reports([], cpu_mhz=40.0, window_us=100.0) == []
+    with pytest.raises(ValueError, match="window must be > 0"):
+        windowed_reports([], cpu_mhz=40.0, window_us=0.0)
+    with pytest.raises(ValueError, match=r"within \(0, 1\)"):
+        windowed_reports([], cpu_mhz=40.0, window_us=1.0,
+                         slo_target=1.5)
+
+
+def test_windowed_reports_matches_live_sampler():
+    # The post-hoc series (from cached request records) must agree
+    # with what the live sampler recorded during the same run.
+    from repro.analysis.serving import windowed_reports
+    from repro.obs import TimeseriesSampler
+    from repro.serve.workload import SERVE_APP_PARAMS
+
+    config = MachineConfig(nprocs=4, network=NetworkConfig.atm())
+    sampler = TimeseriesSampler(window_us=200.0)
+    result = run_app(create_app("kvstore", **SERVE_APP_PARAMS["small"]),
+                     config, protocol="lh", sampler=sampler)
+    posthoc = windowed_reports(result.app_result, config.cpu_mhz,
+                               window_us=200.0)
+    live = {w.index: w for w in sampler.windows}
+    for w in posthoc:
+        live_w = live.get(w.index)
+        if live_w is None:      # live run ended before this boundary
+            continue
+        assert live_w.requests == w.completed
+        assert live_w.p50_us == pytest.approx(w.p50_us)
+        assert live_w.p99_us == pytest.approx(w.p99_us)
+        assert live_w.burn_rate == pytest.approx(w.burn_rate)
+
+
+def test_format_window_table():
+    from repro.analysis.serving import WindowReport, format_window_table
+
+    table = format_window_table([WindowReport(
+        index=0, t0_us=0.0, t1_us=100.0, completed=3, p50_us=12.0,
+        p99_us=80.0, slo_violations=1, burn_rate=333.33)])
+    header, row = table.splitlines()
+    assert "burn" in header and "p99us" in header
+    assert "333.33" in row

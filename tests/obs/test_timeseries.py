@@ -1,0 +1,166 @@
+"""Windowed time-series telemetry: sampler semantics, zero-perturb
+guarantee, golden parity, and the Perfetto counter tracks."""
+
+import json
+
+import pytest
+
+from repro.apps import create_app
+from repro.core.config import MachineConfig, NetworkConfig
+from repro.core.runner import run_app
+from repro.obs import (CausalTrace, MemorySink, Observability,
+                       TIMESERIES_SCHEMA, TimeseriesSampler, Tracer,
+                       chrome_trace, format_timeseries_table,
+                       merge_windows, validate_chrome_trace)
+from repro.serve.workload import SERVE_APP_PARAMS
+
+CONFIG = MachineConfig(nprocs=4, network=NetworkConfig.atm())
+
+
+def _run_sampled(window_us=200.0, app="jacobi", obs=None, **kwargs):
+    sampler = TimeseriesSampler(window_us=window_us, **kwargs)
+    if app == "kvstore":
+        result = run_app(create_app("kvstore",
+                                    **SERVE_APP_PARAMS["small"]),
+                         CONFIG, protocol="lh", obs=obs,
+                         sampler=sampler)
+    else:
+        result = run_app(create_app("jacobi", n=24, iterations=4),
+                         CONFIG, protocol="li", obs=obs,
+                         sampler=sampler)
+    return sampler, result
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError, match="window must be > 0"):
+        TimeseriesSampler(window_us=0.0)
+    with pytest.raises(ValueError, match="window must be > 0"):
+        TimeseriesSampler(window_us=-5.0)
+    with pytest.raises(ValueError, match="SLO must be > 0"):
+        TimeseriesSampler(window_us=100.0, slo_us=0.0)
+    with pytest.raises(ValueError, match=r"within \(0, 1\)"):
+        TimeseriesSampler(window_us=100.0, slo_target=1.0)
+    with pytest.raises(ValueError, match=r"within \(0, 1\)"):
+        TimeseriesSampler(window_us=100.0, slo_target=0.0)
+
+
+def test_subtick_window_rejected_at_bind():
+    # 0.01 µs at 40 MHz is 0.4 cycles — finer than the scheduler can
+    # ever resolve, so bind() refuses it.
+    with pytest.raises(ValueError, match="scheduler tick"):
+        _run_sampled(window_us=0.01)
+
+
+def test_windows_partition_the_run():
+    sampler, result = _run_sampled()
+    windows = sampler.windows
+    assert windows, "run produced no windows"
+    # Delta windows tile the run exactly: contiguous boundaries on the
+    # grid, totals matching the end-of-run aggregates.
+    for before, after in zip(windows, windows[1:]):
+        assert before.t1_cycles == after.t0_cycles
+    assert windows[0].t0_cycles == 0.0
+    assert windows[-1].t1_cycles == result.elapsed_cycles
+    assert sum(w.events for w in windows) == int(
+        result.registry.get("sim.events_dispatched_total")
+        .labels().value)
+    messages = {}
+    for w in windows:
+        for kind, count in w.messages.items():
+            messages[kind] = messages.get(kind, 0) + count
+    assert messages == {
+        kind: count for kind, count in result.metric_by(
+            "dsm.messages_total", "msg_type").items() if count}
+
+
+def test_sampling_does_not_perturb_the_run():
+    # The sampler only reads: the RunResult (elapsed, metrics, app
+    # output — the full canonical dump) must be byte-identical with
+    # and without it.
+    plain = run_app(create_app("jacobi", n=24, iterations=4),
+                    CONFIG, protocol="li")
+    _sampler, sampled = _run_sampled()
+    assert (json.dumps(sampled.to_dict(), sort_keys=True)
+            == json.dumps(plain.to_dict(), sort_keys=True))
+
+
+def test_serving_windows_carry_latency_series():
+    sampler, result = _run_sampled(app="kvstore")
+    windows = sampler.windows
+    total = sum(w.requests for w in windows)
+    assert total == SERVE_APP_PARAMS["small"]["requests"]
+    served = [w for w in windows if w.requests]
+    assert served
+    for w in served:
+        assert 0 < w.p50_us <= w.p99_us
+        assert w.slo_violations <= w.requests
+        # burn = violations/requests / (1 - 0.999)
+        assert w.burn_rate == pytest.approx(
+            w.slo_violations / w.requests / 0.001)
+    for w in windows:
+        if not w.requests:
+            assert (w.p50_us, w.p99_us, w.burn_rate) == (0, 0, 0)
+
+
+def test_export_schema_and_table():
+    sampler, _result = _run_sampled(app="kvstore")
+    dump = json.loads(sampler.as_json())
+    assert dump["schema"] == TIMESERIES_SCHEMA
+    assert dump["window_us"] == 200.0
+    assert dump["cpu_mhz"] == CONFIG.cpu_mhz
+    assert len(dump["windows"]) == len(sampler.windows)
+    for exported in dump["windows"]:
+        assert "latencies_us" not in exported  # raw data stays local
+        assert exported["t0_cycles"] < exported["t1_cycles"]
+    table = format_timeseries_table(sampler)
+    assert "burn" in table.splitlines()[0]
+    assert len(table.splitlines()) == len(sampler.windows) + 1
+
+
+def test_merge_windows_matches_coarser_sampling():
+    fine, _result = _run_sampled(window_us=100.0)
+    coarse, _result = _run_sampled(window_us=300.0)
+    merged = merge_windows(fine.windows, 3)
+    assert [w.to_dict() for w in merged] \
+        == [w.to_dict() for w in coarse.windows]
+
+
+def test_merge_factor_validation():
+    with pytest.raises(ValueError, match="factor"):
+        merge_windows([], 0)
+
+
+def test_chrome_counter_tracks():
+    sink = MemorySink()
+    sampler, _result = _run_sampled(
+        app="kvstore", obs=Observability(tracer=Tracer(sink)))
+    exported = chrome_trace(CausalTrace(sink.events),
+                            timeseries=sampler)
+    assert validate_chrome_trace(exported) == []
+    counters = [e for e in exported["traceEvents"]
+                if e.get("ph") == "C"]
+    # 8 tracks per window for a serving run (5 core + 3 request).
+    assert len(counters) == 8 * len(sampler.windows)
+    names = {e["name"] for e in counters}
+    assert {"events dispatched", "queue depth", "p99 us",
+            "SLO burn rate"} <= names
+    for event in counters:
+        assert event["pid"] == 3
+        assert isinstance(event["args"]["value"], (int, float))
+    # Without a sampler the export is unchanged (no telemetry pid).
+    bare = chrome_trace(CausalTrace(sink.events))
+    assert all(e.get("pid") != 3 for e in bare["traceEvents"])
+
+
+def test_counter_validation_catches_bad_events():
+    bad = {"traceEvents": [
+        {"ph": "C", "pid": 3, "ts": 0.0, "args": {"value": 1.0}},
+        {"ph": "C", "pid": 3, "name": "x", "ts": 0.0},
+        {"ph": "C", "pid": 3, "name": "x", "ts": 0.0,
+         "args": {"value": "fast"}},
+    ]}
+    errors = validate_chrome_trace(bad)
+    assert len(errors) == 3
+    assert any("without name" in e for e in errors)
+    assert any("non-empty args" in e for e in errors)
+    assert any("numeric" in e for e in errors)

@@ -1,0 +1,112 @@
+"""Property-based tests (hypothesis) for telemetry window merging.
+
+The documented law (docs/observability.md): merging ``k`` adjacent
+windows reproduces exactly what sampling at ``k * window_us`` would
+have recorded, and merging composes —
+``merge(merge(w, a), b) == merge(w, a * b)``.  Checked two ways:
+algebraically on synthetic windows, and against real re-sampled runs
+at hypothesis-chosen coarsening factors.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import create_app
+from repro.core.config import MachineConfig, NetworkConfig
+from repro.core.runner import run_app
+from repro.obs import TimeseriesSampler, Window, merge_windows
+
+WINDOW_CYCLES = 100.0
+
+latencies_strategy = st.lists(
+    st.floats(min_value=0.0, max_value=5_000.0,
+              allow_nan=False, allow_infinity=False),
+    min_size=0, max_size=6)
+
+messages_strategy = st.dictionaries(
+    st.sampled_from(["diff_req", "lock_grant", "barrier_arrive"]),
+    st.integers(1, 50), max_size=3)
+
+
+@st.composite
+def windows_strategy(draw):
+    """A grid-aligned run of raw windows; request stats are
+    normalized through merge_windows(..., 1), which recomputes them
+    from the retained latencies exactly like the sampler does."""
+    n = draw(st.integers(min_value=1, max_value=12))
+    raw = []
+    for index in range(n):
+        raw.append(Window(
+            index=index,
+            t0_cycles=index * WINDOW_CYCLES,
+            t1_cycles=(index + 1) * WINDOW_CYCLES,
+            events=draw(st.integers(0, 1000)),
+            messages=draw(messages_strategy),
+            wire_bytes=draw(st.integers(0, 10_000)),
+            data_bytes=draw(st.integers(0, 10_000)),
+            lock_wait_cycles=draw(st.integers(0, 10_000)),
+            diff_bytes=draw(st.integers(0, 10_000)),
+            queue_depth=draw(st.integers(0, 50)),
+            requests=0, slo_violations=0,
+            p50_us=0.0, p99_us=0.0, burn_rate=0.0,
+            latencies_us=sorted(draw(latencies_strategy)),
+        ))
+    return merge_windows(raw, 1)
+
+
+def _dicts(windows):
+    return [w.to_dict() for w in windows]
+
+
+@given(windows_strategy(), st.integers(1, 4), st.integers(1, 4))
+def test_merge_is_associative(windows, a, b):
+    assert _dicts(merge_windows(merge_windows(windows, a), b)) \
+        == _dicts(merge_windows(windows, a * b))
+
+
+@given(windows_strategy())
+def test_merge_to_one_window_sums_everything(windows):
+    (merged,) = merge_windows(windows, len(windows))
+    assert merged.events == sum(w.events for w in windows)
+    assert merged.wire_bytes == sum(w.wire_bytes for w in windows)
+    assert merged.requests == sum(len(w.latencies_us)
+                                  for w in windows)
+    assert merged.t0_cycles == windows[0].t0_cycles
+    assert merged.t1_cycles == windows[-1].t1_cycles
+    assert merged.queue_depth == windows[-1].queue_depth
+
+
+@given(windows_strategy(), st.integers(1, 4))
+def test_merge_preserves_totals(windows, factor):
+    merged = merge_windows(windows, factor)
+    assert sum(w.events for w in merged) \
+        == sum(w.events for w in windows)
+    assert sum(w.slo_violations for w in merged) \
+        == sum(len([l for l in w.latencies_us if l > 500.0])
+               for w in windows)
+
+
+# -- merging equals coarser sampling on a real run ---------------------
+
+_BASE_US = 50.0
+_SAMPLED = {}
+
+
+def _sampled(factor):
+    """Sample the same deterministic run at ``factor * _BASE_US``
+    (memoized: hypothesis replays factors, the simulator does not
+    need to)."""
+    if factor not in _SAMPLED:
+        sampler = TimeseriesSampler(window_us=_BASE_US * factor)
+        run_app(create_app("jacobi", n=16, iterations=2),
+                MachineConfig(nprocs=2, network=NetworkConfig.atm()),
+                protocol="li", sampler=sampler)
+        _SAMPLED[factor] = sampler.windows
+    return _SAMPLED[factor]
+
+
+@settings(max_examples=8, deadline=None)
+@given(st.integers(min_value=1, max_value=8))
+def test_merging_fine_windows_equals_coarser_sampling(factor):
+    assert _dicts(merge_windows(_sampled(1), factor)) \
+        == _dicts(_sampled(factor))
